@@ -1,0 +1,39 @@
+# Convenience targets for the Topics API reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench bench-small study experiments examples clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Reduced-scale benches for quick iteration.
+bench-small:
+	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/ --benchmark-only
+
+study:
+	$(PY) -m repro study
+
+experiments:
+	$(PY) scripts/gen_experiments.py
+
+examples:
+	$(PY) examples/quickstart.py 3000
+	$(PY) examples/topics_api_demo.py
+	$(PY) examples/anomalous_gtm.py
+	$(PY) examples/allowlist_bug.py
+	$(PY) examples/consent_audit.py 3000
+	$(PY) examples/reidentification.py 40
+	$(PY) examples/longitudinal_monitor.py 3000
+	$(PY) examples/ad_targeting.py 40
+	$(PY) examples/full_study.py 3000
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,56 @@
+"""Ablation — a perfectly consent-respecting world zeroes Figure 5.
+
+DESIGN.md: "perfect-CMP world zeroes Fig 5."  With no leaky CMPs, no
+pre-consent firing by services and no rogue pre-consent calls, the entire
+questionable-usage section of the paper disappears — the phenomenon is
+fully explained by the consent-handling defects the world models.
+"""
+
+import dataclasses
+
+from conftest import bench_config, show
+
+from repro.analysis.questionable import figure5
+from repro.crawler.campaign import CrawlCampaign
+from repro.web.cmp import CmpCatalogue, CmpProvider
+from repro.web.generator import WebGenerator
+
+
+def _perfect_world():
+    config = bench_config(seed=1)
+    config.site_count = min(config.site_count, 8_000)
+    config.questionable_multiplier_no_banner = 0.0
+    config.questionable_multiplier_leaky_cmp = 0.0
+    config.questionable_multiplier_custom_banner = 0.0
+    config.rogue_before_rate = 0.0
+    world = WebGenerator(config).generate()
+    # Perfect CMPs: nothing leaks pre-consent.
+    perfect = CmpCatalogue(
+        tuple(
+            dataclasses.replace(provider, preconsent_leak_rate=0.0)
+            for provider in CmpCatalogue().providers
+        )
+    )
+    world.cmps = perfect
+    return world
+
+
+def test_perfect_consent_world_zeroes_figure5(benchmark, crawl):
+    world = _perfect_world()
+    campaign = CrawlCampaign(world, corrupt_allowlist=True)
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+    rows = figure5(result.d_ba, result.allowed_domains, result.survey)
+    real_rows = figure5(crawl.d_ba, crawl.allowed_domains, crawl.survey)
+    show(
+        "Ablation: perfectly consent-respecting ecosystem",
+        f"questionable CPs (perfect world): {len(rows)}\n"
+        f"questionable CPs (paper's world): {len(real_rows)}",
+    )
+
+    # Legitimate (ignores_consent_environment) services like Yandex still
+    # fire pre-consent only through their own policy; with multipliers at
+    # zero every environment-respecting CP is silenced.
+    environment_ignorers = {"yandex.com", "yandex.ru"}
+    assert {row.caller for row in rows} <= environment_ignorers
+    assert len(real_rows) > len(rows)

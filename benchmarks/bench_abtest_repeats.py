@@ -1,0 +1,45 @@
+"""§3 — repeated-visit probing: ON/OFF alternation of A/B tests."""
+
+from conftest import show
+
+from repro.analysis.abtest import detect_alternation
+from repro.crawler.repeats import RepeatedVisitProbe
+
+
+def test_repeated_visit_alternation(benchmark, world):
+    targets = [
+        site.domain
+        for site in world.websites
+        if site.reachable
+        and site.redirect_to is None
+        and "doubleclick.net" in site.embedded
+        and "criteo.com" in site.embedded
+    ][:10]
+
+    def probe_and_detect():
+        series = RepeatedVisitProbe(
+            world, targets, interval_seconds=3600, rounds=48
+        ).run()
+        return detect_alternation(series)
+
+    findings = benchmark.pedantic(probe_and_detect, rounds=1, iterations=1)
+
+    alternating = [f for f in findings if f.alternating]
+    lines = [
+        f"{f.caller:<22} on {f.site:<28} runs={f.runs[:6]}"
+        for f in alternating[:12]
+    ]
+    show(
+        "Repeated visits (paper: 'consistent alternating periods: for"
+        " some time, CP, and website, the usage of the API is ON for all"
+        " visits, followed by some time when it is OFF')",
+        "\n".join(lines) or "(no alternating pairs at this scale)",
+    )
+
+    assert findings
+    # The alternating CPs in the catalogue (doubleclick, criteo — 6-hour
+    # windows) must surface; static CPs must not flap visit-to-visit.
+    assert any(f.caller in ("doubleclick.net", "criteo.com") for f in alternating)
+    for finding in findings:
+        if finding.caller == "casalemedia.com":
+            assert len(finding.runs) == 1

@@ -1,0 +1,38 @@
+"""Call-type mixes — the instrumentation cut behind §4's "all JavaScript"."""
+
+from conftest import show
+
+from repro.analysis.calltypes import (
+    call_type_mix_by_caller,
+    legitimate_vs_anomalous_mix,
+    render_call_types,
+)
+from repro.analysis.pervasiveness import legitimate_callers
+from repro.browser.topics.types import ApiCallType
+
+
+def test_call_type_breakdown(benchmark, crawl):
+    legit, anomalous = benchmark(
+        legitimate_vs_anomalous_mix,
+        crawl.d_aa,
+        crawl.allowed_domains,
+        crawl.survey,
+    )
+    per_caller = call_type_mix_by_caller(
+        crawl.d_aa,
+        callers=legitimate_callers(crawl.allowed_domains, crawl.survey),
+        min_calls=100,
+    )
+    show(
+        "Call types (paper §2.2 logs JavaScript/Fetch/IFrame; §4: every"
+        " anomalous call is JavaScript)",
+        render_call_types(per_caller[:12])
+        + f"\n\nlegitimate aggregate: js {legit.share(ApiCallType.JAVASCRIPT):.0%},"
+        f" fetch {legit.share(ApiCallType.FETCH):.0%},"
+        f" iframe {legit.share(ApiCallType.IFRAME):.0%}"
+        f"\nanomalous aggregate:  js {anomalous.share(ApiCallType.JAVASCRIPT):.0%}",
+    )
+
+    assert anomalous.share(ApiCallType.JAVASCRIPT) == 1.0
+    assert legit.share(ApiCallType.FETCH) > 0.1
+    assert legit.share(ApiCallType.JAVASCRIPT) > 0.3

@@ -1,0 +1,35 @@
+"""Extension study — cookies vs Topics coverage (the §3 A/B backdrop).
+
+Quantifies the trade the paper's ecosystem is testing: with third-party
+cookies, every impression carries a stable cross-site identifier; after
+the phase-out, coverage collapses to ~0 and the Topics call rate (each
+CP's A/B share) is what remains.
+"""
+
+from conftest import BENCH_SITES, show
+
+from repro.analysis.cookies_vs_topics import compare_tracking, render_comparison
+
+
+def test_cookies_vs_topics(benchmark, world):
+    rows = benchmark.pedantic(
+        compare_tracking,
+        args=(world,),
+        kwargs={"site_limit": min(BENCH_SITES, 8_000)},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Cookies vs Topics coverage (paper §3: live A/B tests compare the"
+        " two; the phase-out is the study's whole motivation)",
+        render_comparison(rows, top=15),
+    )
+
+    assert rows, "expected ad impressions"
+    for row in rows[:8]:
+        assert row.cookie_id_rate_3pc_on > 0.95
+        assert row.cookie_id_rate_3pc_off < 0.05
+    criteo = next(r for r in rows if r.caller == "criteo.com")
+    dbl = next(r for r in rows if r.caller == "doubleclick.net")
+    # The Topics substitution mirrors Figure 3's A/B shares.
+    assert criteo.topics_call_rate > dbl.topics_call_rate

@@ -1,0 +1,48 @@
+"""System benchmarks: crawl throughput and Topics API call latency.
+
+Not a paper artefact — these measure the simulator itself, so regressions
+in the substrate are visible independent of the analyses.
+"""
+
+from conftest import bench_config, show
+
+from repro.browser.browser import Browser
+from repro.browser.context import root_context_for
+from repro.browser.topics.api import TopicsApi
+from repro.crawler.campaign import CrawlCampaign
+from repro.util.urls import https
+from repro.web.generator import WebGenerator
+
+
+def test_crawl_throughput(benchmark, world):
+    campaign = CrawlCampaign(world, corrupt_allowlist=True, limit=2_000)
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    visits = result.report.ok + result.report.failed + result.report.accepted
+    show(
+        "Crawl throughput",
+        f"{visits} visits over the top-2,000 ranks "
+        f"(paper: 50k sites in about one day of wall-clock crawling)",
+    )
+    assert result.report.ok > 0
+
+
+def test_world_generation(benchmark):
+    config = bench_config(seed=2)
+    config.site_count = min(config.site_count, 10_000)
+    world = benchmark.pedantic(
+        WebGenerator(config).generate, rounds=1, iterations=1
+    )
+    assert len(world.websites) == config.site_count
+
+
+def test_browsing_topics_call_latency(benchmark, world):
+    browser = Browser(world, corrupt_allowlist=True)
+    api = TopicsApi(browser.topics_manager)
+    context = root_context_for(https("www.bench-page.com"))
+    frame = context.open_iframe(https("frame.criteo.com", "/topics.html"))
+
+    def one_call():
+        return api.document_browsing_topics(frame, browser.clock.now())
+
+    benchmark(one_call)
+    assert browser.topics_manager.call_count > 0

@@ -1,0 +1,46 @@
+"""§3 — the enrolment timeline read from attestation files."""
+
+import datetime
+
+from conftest import show
+
+from repro.analysis.enrollment import enrollment_timeline, migration_adoption
+from repro.analysis.report import render_enrollment
+from repro.attestation.registry import MIGRATION_AT
+from repro.crawler.wellknown import survey_attestations
+
+
+def test_enrollment_timeline(benchmark, crawl):
+    timeline = benchmark(enrollment_timeline, crawl.survey)
+    show(
+        "Section 3 enrolment timeline (paper: first attestation"
+        " 2023-06-16; ~a dozen new services per month through May 2024)",
+        render_enrollment(timeline),
+    )
+
+    assert timeline.first_date == datetime.date(2023, 6, 16)
+    assert 10 <= timeline.mean_per_month <= 22
+    # distillery.com's November 2023 attestation is in the timeline.
+    assert timeline.count_in(2023, 11) >= 1
+
+
+def test_enrollment_site_migration(benchmark, crawl, world):
+    """The 2024-10-17 schema migration: re-served files gain the
+    ``enrollment_site`` field."""
+    attested = sorted(crawl.survey.attested_domains())
+
+    def probe_after_migration():
+        return survey_attestations(world, attested, MIGRATION_AT + 1)
+
+    late_survey = benchmark(probe_after_migration)
+    before_share = migration_adoption(crawl.survey)
+    after_share = migration_adoption(late_survey)
+    show(
+        "Attestation schema migration (paper: on October 17th, 2024, many"
+        " of the enrolled CPs had to update their attestations to include"
+        " the new enrollment_site field)",
+        f"share with enrollment_site before migration: {before_share:.0%}\n"
+        f"share with enrollment_site after  migration: {after_share:.0%}",
+    )
+    assert before_share == 0.0
+    assert after_share == 1.0

@@ -1,0 +1,28 @@
+"""Figure 2 — CP presence vs Topics API calls in D_AA (top 15)."""
+
+from conftest import show
+
+from repro.analysis.pervasiveness import figure2
+from repro.analysis.report import render_figure2
+
+
+def test_figure2(benchmark, crawl):
+    rows = benchmark(figure2, crawl.d_aa, crawl.allowed_domains, crawl.survey)
+    show(
+        "Figure 2 (paper: google-analytics > doubleclick > bing > rubicon"
+        " > pubmatic > criteo > ...; GA and bing never call; doubleclick"
+        " calls on ~1/3 of its sites)",
+        render_figure2(rows),
+    )
+
+    by_name = {row.caller: row for row in rows}
+    # The paper's headline observations about the top of the figure.
+    assert rows[0].caller == "google-analytics.com"
+    assert by_name["google-analytics.com"].called_on == 0
+    assert by_name["bing.com"].called_on == 0
+    assert 0.25 <= by_name["doubleclick.net"].call_share <= 0.42
+    # criteo/rubicon/casalemedia lead usage among the pervasive parties.
+    heavy_users = {r.caller for r in rows if r.call_share > 0.5}
+    assert {"criteo.com", "rubiconproject.com", "casalemedia.com"} <= heavy_users
+    presences = [row.present_on for row in rows]
+    assert presences == sorted(presences, reverse=True)

@@ -1,0 +1,28 @@
+"""Figure 3 — enabled percentage per CP: the A/B-test splits."""
+
+from conftest import show
+
+from repro.analysis.abtest import figure3
+from repro.analysis.report import render_figure3
+from repro.experiments.paper import PAPER
+
+
+def test_figure3(benchmark, crawl):
+    rows = benchmark(figure3, crawl.d_aa, crawl.allowed_domains, crawl.survey)
+    show(
+        "Figure 3 (paper clusters: authorizedvault ≈100%, criteo/cpx 75%,"
+        " yandex 66%, ... doubleclick 33%, postrelease 25%)",
+        render_figure3(rows),
+    )
+
+    rates = {row.caller: row.enabled_percent for row in rows}
+    assert PAPER["fig3.authorizedvault_rate"].matches(
+        rates.get("authorizedvault.com", 0.0)
+    )
+    assert PAPER["fig3.criteo_rate"].matches(rates.get("criteo.com", 0.0))
+    assert PAPER["fig3.yandex_rate"].matches(rates.get("yandex.com", 0.0))
+    assert PAPER["fig3.doubleclick_rate"].matches(rates.get("doubleclick.net", 0.0))
+    # Rates descend across the figure, from near-always to ~25%.
+    ordered = [row.enabled_percent for row in rows]
+    assert ordered == sorted(ordered, reverse=True)
+    assert ordered[0] > 88 and ordered[-1] < 45

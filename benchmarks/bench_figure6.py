@@ -1,0 +1,30 @@
+"""Figure 6 — questionable-call share by website TLD region (top-4 CPs)."""
+
+from conftest import show
+
+from repro.analysis.questionable import figure6
+from repro.analysis.report import render_figure6
+from repro.web.tlds import Region
+
+
+def test_figure6(benchmark, crawl):
+    rows = benchmark(figure6, crawl.d_ba, crawl.allowed_domains, crawl.survey)
+    show(
+        "Figure 6 (paper: yandex absent from .jp and nearly absent from"
+        " EU, strong on .ru; criteo worldwide; no radical regional trend;"
+        " questionable calls exist even on EU sites)",
+        render_figure6(rows),
+    )
+
+    assert len(rows) == 4
+    yandex = next((r for r in rows if r.caller == "yandex.com"), None)
+    assert yandex is not None, "yandex.com must be among the top questionable CPs"
+    # Regional footprint: Yandex is a .ru phenomenon.
+    assert yandex.present[Region.JP] == 0
+    assert yandex.present[Region.RU] > 10 * max(1, yandex.present[Region.EU])
+    # GDPR does not save EU sites: some questionable calls land there too.
+    assert any(row.called.get(Region.EU, 0) > 0 for row in rows)
+    # Enabled shares are percentages.
+    for row in rows:
+        for region in Region:
+            assert 0.0 <= row.enabled_percent(region) <= 100.0

@@ -1,0 +1,38 @@
+"""Figure 7 — P(CMP) vs P(CMP | questionable call): the CMP audit."""
+
+from conftest import show
+
+from repro.analysis.cmp_analysis import average_questionable_rate, figure7
+from repro.analysis.report import render_figure7
+from repro.experiments.paper import PAPER
+
+
+def test_figure7(benchmark, crawl, world):
+    rows = benchmark(
+        figure7, crawl.d_ba, crawl.allowed_domains, crawl.survey, world.cmps
+    )
+    show(
+        "Figure 7 (paper: bars roughly equal for most CMPs; HubSpot ≈3x"
+        " over-represented, P(questionable|HubSpot) ≈ 12%, twice the"
+        " average; LiveRamp similar)",
+        render_figure7(rows),
+    )
+
+    by_name = {row.name: row for row in rows}
+    hubspot = by_name["HubSpot"]
+    liveramp = by_name["LiveRamp"]
+    average = average_questionable_rate(rows)
+
+    assert PAPER["fig7.hubspot_lift"].matches(hubspot.lift)
+    assert PAPER["fig7.hubspot_q_rate"].matches(hubspot.p_questionable_given_cmp)
+    assert hubspot.p_questionable_given_cmp > 1.5 * average
+    assert liveramp.lift > 1.5
+    # Most CMPs sit near lift 1 ("the popularity of CMPs is generally
+    # independent of the presence of questionable calls").
+    ordinary = [
+        row.lift for row in rows
+        if row.name not in ("HubSpot", "LiveRamp") and row.sites_total > 50
+    ]
+    assert ordinary and sum(ordinary) / len(ordinary) < 1.6
+    # OneTrust remains the most deployed CMP overall.
+    assert by_name["OneTrust"].p_cmp == max(row.p_cmp for row in rows)

@@ -1,0 +1,41 @@
+"""Extension study — continuous monitoring (paper §6's future work).
+
+Snapshots the same ranking at five dates under the adoption model
+(enrolments accumulate; services activate and ramp their A/B rates) and
+regenerates the adoption trend: Allowed parties, active CPs, the share of
+sites where a user meets the API, questionable CPs.
+"""
+
+from conftest import BENCH_SITES, show
+
+from repro.longitudinal.monitor import LongitudinalMonitor, render_trend
+from repro.util.timeline import timestamp_from_date
+
+_DATES = [
+    timestamp_from_date(2023, 9, 1),
+    timestamp_from_date(2023, 12, 1),
+    timestamp_from_date(2024, 3, 30),  # the paper's crawl date
+    timestamp_from_date(2024, 9, 1),
+    timestamp_from_date(2025, 3, 1),
+]
+
+
+def test_longitudinal_trend(benchmark, world):
+    monitor = LongitudinalMonitor(world, limit=min(BENCH_SITES, 10_000))
+    snapshots = benchmark.pedantic(
+        monitor.run, args=(_DATES,), rounds=1, iterations=1
+    )
+    show(
+        "Adoption trend (the paper is the 2024-03-30 row; §6 calls for"
+        " exactly this continuous view)",
+        render_trend(snapshots),
+    )
+
+    allowed = [snap.allowed for snap in snapshots]
+    active = [snap.active_cps for snap in snapshots]
+    share = [snap.sites_with_call_share for snap in snapshots]
+    assert allowed == sorted(allowed)
+    assert active[0] < active[-1]
+    assert share[0] < share[-1]
+    # The anomalous-caller population is adoption-independent.
+    assert len({snap.anomalous_cps for snap in snapshots}) == 1

@@ -1,0 +1,19 @@
+"""System benchmark — sharded campaign vs the sequential protocol."""
+
+from conftest import show
+
+from repro.crawler.parallel import ShardedCrawl
+
+
+def test_sharded_crawl(benchmark, world, crawl):
+    sharded = benchmark.pedantic(
+        ShardedCrawl(world, shard_count=8).run, rounds=1, iterations=1
+    )
+    show(
+        "Sharded campaign (8 browser profiles)",
+        f"sequential: ok={crawl.report.ok:,} accepted={crawl.report.accepted:,}\n"
+        f"sharded:    ok={sharded.report.ok:,} accepted={sharded.report.accepted:,}",
+    )
+    assert sharded.report.ok == crawl.report.ok
+    assert sharded.report.accepted == crawl.report.accepted
+    assert {r.domain for r in sharded.d_aa} == {r.domain for r in crawl.d_aa}

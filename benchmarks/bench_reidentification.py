@@ -1,0 +1,56 @@
+"""Extension study — re-identification risk of the Topics API.
+
+Not a figure of the measured paper, but the analysis its related-work
+section builds on (Carey et al., Jha et al.): two colluding observers link
+their per-epoch topic views of a user population.  The bench regenerates
+the two canonical curves: accuracy vs observation epochs and accuracy vs
+noise rate, both against the spec's 5% deployed noise.
+"""
+
+from conftest import show
+
+from repro.privacy.experiment import (
+    ReidentificationConfig,
+    render_sweep,
+    run_reidentification,
+    sweep_epochs,
+    sweep_noise,
+)
+
+_BASE = ReidentificationConfig(population_size=80, observation_epochs=4)
+
+
+def test_reidentification_baseline(benchmark):
+    result = benchmark.pedantic(
+        run_reidentification, args=(_BASE,), rounds=1, iterations=1
+    )
+    show(
+        "Re-identification, deployed parameters (5% noise, 4 epochs)",
+        f"top-1 accuracy: {result.accuracy_top1:.1%}   "
+        f"random baseline: {result.linkage.random_baseline:.1%}   "
+        f"uplift: {result.uplift_over_random:.0f}x",
+    )
+    # Literature: linkage succeeds far above chance under deployed params.
+    assert result.uplift_over_random > 10
+
+
+def test_reidentification_epoch_sweep(benchmark):
+    results = benchmark.pedantic(
+        sweep_epochs, args=(_BASE, [1, 2, 4, 8]), rounds=1, iterations=1
+    )
+    show("Accuracy vs observation epochs", render_sweep(results, "epochs"))
+    accuracies = [r.accuracy_top1 for r in results]
+    # More observation epochs help (monotone up to sampling noise).
+    assert accuracies[-1] > accuracies[0]
+    assert accuracies[-1] > 0.5
+
+
+def test_reidentification_noise_sweep(benchmark):
+    results = benchmark.pedantic(
+        sweep_noise, args=(_BASE, [0.0, 0.05, 0.25, 0.5]), rounds=1, iterations=1
+    )
+    show("Accuracy vs plausible-deniability noise", render_sweep(results, "noise"))
+    accuracies = [r.accuracy_top1 for r in results]
+    assert accuracies[0] >= accuracies[-1]
+    # The deployed 5% barely dents the attack — the papers' point.
+    assert accuracies[1] > 0.8 * accuracies[0]

@@ -1,0 +1,28 @@
+"""Robustness — the reproduction holds across seeds, not just seed 1."""
+
+from conftest import BENCH_SITES, show
+
+from repro.experiments.robustness import (
+    render_robustness,
+    run_seed_grid,
+)
+
+_SEEDS = [1, 7, 23]
+
+
+def test_seed_grid(benchmark):
+    site_count = min(BENCH_SITES, 10_000)
+    _, summaries = benchmark.pedantic(
+        run_seed_grid, args=(site_count, _SEEDS), rounds=1, iterations=1
+    )
+    show(
+        f"Seed-grid robustness ({site_count:,} sites × {len(_SEEDS)} seeds)",
+        render_robustness(summaries, _SEEDS),
+    )
+
+    failures = [
+        summary.description
+        for summary in summaries
+        if summary.scale_free and not summary.all_within_band
+    ]
+    assert not failures, f"scale-free quantities out of band: {failures}"

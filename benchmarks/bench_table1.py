@@ -1,0 +1,35 @@
+"""Table 1 — overall status of Topics API usage (plus the 45% stat).
+
+Regenerates the Allowed/Attested caller matrix over both datasets and
+checks the headline counts against the published Table 1.
+"""
+
+from conftest import SCALE, show
+
+from repro.analysis.classify import build_table1
+from repro.analysis.pervasiveness import legitimate_callers, share_of_sites_with_call
+from repro.analysis.report import render_table1
+from repro.experiments.paper import PAPER
+
+
+def test_table1(benchmark, crawl):
+    table = benchmark(
+        build_table1, crawl.d_ba, crawl.d_aa, crawl.allowed_domains, crawl.survey
+    )
+    legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+    share = share_of_sites_with_call(crawl.d_aa, legit)
+
+    show(
+        "Table 1 (paper: 193 / 12 / 47 / 1 / 2,614 / 28 / 1,308)",
+        render_table1(table)
+        + f"\n\nShare of D_AA sites with a legitimate call: {share:.1%}"
+        " (paper: 45%, intro: 'one website every two')",
+    )
+
+    assert table.allowed_total == int(PAPER["table1.allowed"].value)
+    assert table.allowed_unattested == int(PAPER["table1.allowed_unattested"].value)
+    assert table.aa_not_allowed_attested == 1
+    assert 0.75 * 47 <= table.aa_allowed_attested <= 47
+    assert PAPER["table1.aa_not_allowed"].matches(table.aa_not_allowed / SCALE)
+    assert PAPER["table1.ba_not_allowed"].matches(table.ba_not_allowed / SCALE)
+    assert 0.30 <= share <= 0.60

@@ -1,0 +1,30 @@
+"""Extension study — targeting quality: cookies vs Topics vs nothing.
+
+The business metric behind §3's A/B tests ("how well the Topics API
+paradigm behaves compared with the standard third-party cookie solutions
+for their business metric"): serve one ad per user under each regime and
+measure relevance and CPM.
+"""
+
+from conftest import show
+
+from repro.adserver.experiment import TargetingStudy, render_targeting
+
+
+def test_targeting_quality(benchmark):
+    study = TargetingStudy(population_size=100, epochs=4)
+    result = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    show(
+        "Targeting quality (the Figure 1 /provide-ad endpoint, three"
+        " signal regimes)",
+        render_targeting(result),
+    )
+
+    assert result.cookie.relevance > result.topics.relevance
+    assert result.topics.relevance > result.untargeted.relevance
+    assert result.cookie.relevance > 0.9
+    assert 0.4 <= result.topics_substitution_ratio < 1.0
+    # Revenue follows relevance: house ads are cheap filler.
+    assert result.untargeted.mean_cpm < result.topics.mean_cpm <= (
+        result.cookie.mean_cpm + 1.5
+    )

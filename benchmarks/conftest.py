@@ -1,0 +1,44 @@
+"""Benchmark fixtures: one paper-scale world and crawl per session.
+
+Every bench regenerates one of the paper's tables/figures from this shared
+campaign and prints the rows next to the published values.  Scale is
+controlled with ``REPRO_BENCH_SITES`` (default: the paper's 50,000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.crawler.campaign import CrawlCampaign, CrawlResult
+from repro.web.config import WorldConfig
+from repro.web.generator import SyntheticWeb, WebGenerator
+
+BENCH_SITES = int(os.environ.get("REPRO_BENCH_SITES", "50000"))
+
+#: Ratio to the paper's scale, used to scale absolute expectations.
+SCALE = BENCH_SITES / 50_000
+
+
+def bench_config(seed: int = 1) -> WorldConfig:
+    if BENCH_SITES >= 50_000:
+        return WorldConfig(seed=seed)
+    return WorldConfig.small(BENCH_SITES, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def world() -> SyntheticWeb:
+    return WebGenerator(bench_config()).generate()
+
+
+@pytest.fixture(scope="session")
+def crawl(world: SyntheticWeb) -> CrawlResult:
+    return CrawlCampaign(world, corrupt_allowlist=True).run()
+
+
+def show(title: str, body: str) -> None:
+    """Print a regenerated artefact under a banner (visible with -s, and
+    in pytest's captured-output section otherwise)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Re-identification risk study — the privacy analysis behind the paper's
+related work (Carey et al. '23, Jha et al. '23).
+
+Two colluding observers (say, two websites both running the same ad-tech)
+each collect the per-epoch topics the API hands *them* for a population of
+users.  Because each epoch's answer is drawn from the same per-user top-5,
+the two views correlate, and across a few epochs they identify users far
+above chance — even with the deployed 5% noise.
+
+Usage::
+
+    python examples/reidentification.py [population_size]
+"""
+
+import sys
+
+from repro.privacy.attack import SequenceMatcher, TopicOverlapMatcher
+from repro.privacy.experiment import (
+    ReidentificationConfig,
+    render_sweep,
+    run_reidentification,
+    sweep_epochs,
+    sweep_noise,
+)
+
+
+def main() -> None:
+    population = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    base = ReidentificationConfig(
+        population_size=population, observation_epochs=4
+    )
+
+    print(
+        f"Population: {population} users, 4 observation epochs, deployed"
+        " 5% noise.\n"
+    )
+    result = run_reidentification(base)
+    print(
+        f"Epoch-aligned matcher: top-1 accuracy {result.accuracy_top1:.1%}"
+        f" (random: {result.linkage.random_baseline:.1%},"
+        f" uplift {result.uplift_over_random:.0f}x)"
+    )
+    overlap = run_reidentification(base, matcher=TopicOverlapMatcher())
+    print(
+        f"Union-overlap matcher: top-1 accuracy {overlap.accuracy_top1:.1%}"
+        " (works even when the observers query on different schedules)\n"
+    )
+
+    print("How observation time compounds the risk:")
+    print(render_sweep(sweep_epochs(base, [1, 2, 4, 8]), "epochs"))
+
+    print("\nHow much noise it would take to blunt the attack:")
+    print(render_sweep(sweep_noise(base, [0.0, 0.05, 0.25, 0.5]), "noise"))
+    print(
+        "\nThe deployed 5% barely moves the needle — matching the"
+        " literature's conclusion\nthat the Topics API's plausible-"
+        "deniability noise does not prevent linkage."
+    )
+    assert isinstance(result.linkage.true_match_ranks, tuple)
+    assert SequenceMatcher().score([(1,)], [(1,)]) == 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Figure 1 mechanics: the Topics API from a single user's perspective.
+
+Simulates four weeks of one user's browsing, with an advertiser observing
+them on some sites, then shows what ``document.browsingTopics()`` returns:
+one topic per each of the last three epochs, chosen from the epoch's top 5,
+with 5% noise and the observed-by filter — exactly the machinery of paper
+§2.1.
+
+Usage::
+
+    python examples/topics_api_demo.py
+"""
+
+from repro.attestation.allowlist import AllowList, AllowListDatabase
+from repro.browser.context import root_context_for
+from repro.browser.topics.api import TopicsApi
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.taxonomy.classifier import SiteClassifier
+from repro.taxonomy.tree import load_default_taxonomy
+from repro.util.timeline import EPOCH_DURATION
+from repro.util.urls import https
+
+ADVERTISER = "advertiser.com"
+OTHER_AD = "other-ads.net"
+
+#: The user's weekly routine: (site, visits per week).
+ROUTINE = [
+    ("football-news.com", 6),
+    ("guitar-shop.com", 3),
+    ("cooking-blog.com", 3),
+    ("travel-deals.com", 2),
+    ("tech-reviews.com", 2),
+]
+
+#: Sites where ADVERTISER has a tag (and therefore observes the user).
+ADVERTISER_SITES = {"football-news.com", "guitar-shop.com", "cooking-blog.com"}
+
+
+def build_manager() -> tuple[BrowsingTopicsSiteDataManager, SiteClassifier]:
+    taxonomy = load_default_taxonomy()
+    classifier = SiteClassifier(taxonomy)
+    # Pin the demo sites to readable topics.
+    classifier.add_override("football-news.com", [taxonomy.by_path("/Sports/Soccer").topic_id])
+    classifier.add_override("guitar-shop.com", [
+        taxonomy.by_path("/Arts & Entertainment/Music & Audio/Musical Instruments").topic_id
+    ])
+    classifier.add_override("cooking-blog.com", [
+        taxonomy.by_path("/Food & Drink/Cooking & Recipes").topic_id
+    ])
+    classifier.add_override("travel-deals.com", [
+        taxonomy.by_path("/Travel & Transportation/Air Travel").topic_id
+    ])
+    classifier.add_override("tech-reviews.com", [
+        taxonomy.by_path("/Computers & Electronics/Consumer Electronics").topic_id
+    ])
+
+    allowlist = AllowListDatabase.from_allowlist(
+        AllowList.of([ADVERTISER, OTHER_AD])
+    )
+    selector = EpochTopicsSelector(classifier, user_seed=2024)
+    return BrowsingTopicsSiteDataManager(selector, allowlist), classifier
+
+
+def main() -> None:
+    manager, classifier = build_manager()
+    api = TopicsApi(manager)
+    taxonomy = classifier.taxonomy
+
+    print("Simulating 4 weeks of browsing ...\n")
+    for week in range(4):
+        for site, visits in ROUTINE:
+            for visit in range(visits):
+                at = week * EPOCH_DURATION + visit * 3600 * 24
+                manager.record_page_visit(site, at)
+                if site in ADVERTISER_SITES:
+                    # The advertiser's iframe calls the API on this page,
+                    # which is what makes the site usable for topics.
+                    page = root_context_for(https(f"www.{site}"))
+                    frame = page.open_iframe(https(f"ads.{ADVERTISER}", "/slot"))
+                    api.document_browsing_topics(frame, at)
+
+    for epoch in range(4):
+        digest = manager.history.eligible_sites(epoch)
+        top = manager._selector.epoch_topics(manager.history, epoch)  # noqa: SLF001
+        names = [taxonomy.get(t).name for t in top.top_topics]
+        print(f"epoch {epoch}: observed sites={digest}")
+        print(f"         top-5 topics: {names} (padded={top.padded})")
+
+    now = 4 * EPOCH_DURATION + 1
+    print("\n--- the advertiser calls document.browsingTopics() in week 5 ---")
+    page = root_context_for(https("www.football-news.com"))
+    frame = page.open_iframe(https(f"ads.{ADVERTISER}", "/slot"))
+    for topic in api.document_browsing_topics(frame, now):
+        label = taxonomy.get(topic.topic_id).path
+        flag = "  [random noise]" if topic.is_noise else ""
+        print(f"  topic {topic.topic_id:>3}  {label}{flag}")
+
+    print("\n--- a stranger ad-tech with no observations calls too ---")
+    stranger = page.open_iframe(https(f"tags.{OTHER_AD}", "/slot"))
+    topics = api.document_browsing_topics(stranger, now)
+    real = [t for t in topics if not t.is_noise]
+    print(f"  real topics returned: {len(real)} (observed-by filter)")
+    print(f"  noise topics returned: {len(topics) - len(real)}")
+
+    print("\n--- and a caller not on the allow-list is blocked outright ---")
+    blocked = page.open_iframe(https("sneaky.example", "/slot"))
+    topics = api.document_browsing_topics(blocked, now)
+    last = manager.call_log[-1]
+    print(f"  decision={last.decision.value}, topics returned: {len(topics)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from a full paper-scale study.
+
+Usage::
+
+    python scripts/gen_experiments.py [site_count] [output_path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import report as R
+from repro.analysis.dataset_stats import render_stats
+from repro.browser.topics.types import ApiCallType
+from repro.experiments import ExperimentConfig, run_full_study
+
+
+def code(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def main() -> None:
+    site_count = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    output = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("EXPERIMENTS.md")
+
+    config = (
+        ExperimentConfig.paper_scale()
+        if site_count >= 50_000
+        else ExperimentConfig.small(site_count)
+    )
+    started = time.time()
+    result = run_full_study(config)
+    elapsed = time.time() - started
+
+    lines: list[str] = []
+    lines.append("# EXPERIMENTS — paper vs measured\n")
+    lines.append(
+        f"Full {site_count:,}-site study, seed 1, corrupted allow-list (the\n"
+        f"paper's instrumented setup).  One run takes ≈{elapsed:.0f}s single-core.\n"
+        "Regenerate any artefact with `pytest benchmarks/ --benchmark-only`,\n"
+        "`python examples/full_study.py`, or this file with\n"
+        "`python scripts/gen_experiments.py`.\n"
+    )
+
+    lines.append("## Summary sheet\n")
+    lines.append("| quantity | paper | measured | deviation | within band |")
+    lines.append("|---|---:|---:|---:|---|")
+    for comparison in result.comparisons():
+        description = comparison.description.replace("|", r"\|")
+        lines.append(
+            f"| {description} | {comparison.paper:g} | {comparison.measured:.4g}"
+            f" | {100 * comparison.deviation:+.1f}% |"
+            f" {'yes' if comparison.ok else 'NO'} |"
+        )
+    lines.append("")
+
+    sections = [
+        (
+            "Section 2.4 — dataset and initial findings",
+            "Paper: 50,000 targets → 43,405 OK → 14,719 After-Accept (~30%); "
+            "19,534 unique third parties; failures are DNS/connection errors.",
+            render_stats(result.stats),
+        ),
+        (
+            "Table 1 — overall status of Topics API usage",
+            "Paper: 193 Allowed / 12 unattested / D_AA 47 & 1 & 2,614 / "
+            "D_BA 28 & 1,308.",
+            R.render_table1(result.table1),
+        ),
+        (
+            "Figure 2 — CP presence vs calls (D_AA)",
+            "Paper: google-analytics most pervasive but silent; doubleclick "
+            "calls on ~1/3 of its sites; bing silent; criteo/rubicon/"
+            "casalemedia heaviest users.",
+            R.render_figure2(result.fig2),
+        ),
+        (
+            "Figure 3 — enabled % per CP (A/B splits)",
+            "Paper clusters: authorizedvault ~100%, criteo & cpx 75%, yandex "
+            "66%, ... doubleclick 33%, postrelease 25%.",
+            R.render_figure3(result.fig3),
+        ),
+        (
+            "Figure 5 — questionable calls per CP (D_BA)",
+            "Paper: yandex.com first with 611 websites; doubleclick absent.",
+            R.render_figure5(result.fig5),
+        ),
+        (
+            "Figure 6 — questionable-call share by TLD region",
+            "Paper: yandex concentrated on .ru and absent from .jp; criteo "
+            "worldwide; no radical regional trend; EU sites affected too.",
+            R.render_figure6(result.fig6),
+        ),
+        (
+            "Figure 7 — CMP probabilities",
+            "Paper: bars roughly equal for most CMPs; HubSpot ~3x "
+            "over-represented with P(q|HubSpot)=12% (twice the average); "
+            "LiveRamp similar.",
+            R.render_figure7(result.fig7),
+        ),
+        (
+            "Section 4 — anomalous usage",
+            "Paper: 3,450 calls from 2,614 not-Allowed CPs; 72% share the "
+            "visited site's second-level domain; remainder same-company or "
+            "redirect; all JavaScript; GTM on 95% of affected sites.",
+            R.render_anomalous(result.anomalous),
+        ),
+        (
+            "Section 3 — enrolment timeline",
+            "Paper: first attestation 2023-06-16; ~a dozen new services per "
+            "month until May 2024; the 2024-10-17 enrollment_site migration "
+            "is reproduced in benchmarks/bench_enrollment.py.",
+            R.render_enrollment(result.enrollment),
+        ),
+    ]
+    for title, context, body in sections:
+        lines.append(f"\n## {title}\n")
+        lines.append(context + "\n")
+        lines.append(code(body))
+
+    lines.append("\n## Headline shares\n")
+    lines.append(
+        f"- Share of D_AA sites with a legitimate Topics call: "
+        f"**{result.sites_with_call_share:.1%}** (paper: 45%, intro: 'one "
+        "website every two')."
+    )
+    lines.append(
+        f"- Crawl duration (simulated): "
+        f"**{result.crawl.report.duration_seconds / 3600:.1f} hours** "
+        "(paper: 'the crawl ends after about one day')."
+    )
+    lines.append(
+        f"- Anomalous calls are **{result.calltype_anomalous.share(ApiCallType.JAVASCRIPT):.0%}"
+        f" JavaScript** (paper: all of them); legitimate callers split "
+        f"js/fetch/iframe ≈ "
+        f"{result.calltype_legit.share(ApiCallType.JAVASCRIPT):.0%}/"
+        f"{result.calltype_legit.share(ApiCallType.FETCH):.0%}/"
+        f"{result.calltype_legit.share(ApiCallType.IFRAME):.0%}."
+    )
+    lines.append("""
+## Mechanism reproductions (not numeric artefacts)
+
+- **Figure 1** (Topics API operation): `examples/topics_api_demo.py` walks epochs,
+  top-5 computation, 3-topic answers, 5% noise and the observed-by filter;
+  `examples/ad_targeting.py` completes the loop to the /provide-ad endpoint;
+  pinned by `tests/test_topics_selection.py` and `tests/test_topics_manager.py`.
+- **Figure 4** (origin mechanism): `examples/anomalous_gtm.py` shows GTM's
+  script executing in the root browsing context and calling as the website;
+  pinned by `tests/test_browser_context.py` and `tests/test_browser_visits.py`.
+- **§2.3 default-allow bug**: corrupted `privacy-sandbox-attestations.dat`
+  makes the browser allow every caller; pinned by
+  `tests/test_attestation_allowlist.py::TestGating` and exercised as the
+  campaign's instrumentation mode.
+- **§3 repeated-visit A/B alternation**: `benchmarks/bench_abtest_repeats.py`
+  revisits fixed sites hourly and detects consistent ON/OFF runs.
+
+## Ablations (DESIGN.md §5)
+
+- `benchmarks/bench_ablation_allowlist.py` — healthy allow-list ⇒ anomalous usage invisible (0 calls), legitimate usage unchanged.
+- `benchmarks/bench_ablation_context.py` — counterfactual script-URL attribution ⇒ per-site anomalous callers collapse onto the GTM/library hosts.
+- `benchmarks/bench_ablation_consent.py` — perfectly consent-respecting ecosystem ⇒ Figure 5 reduced to the consent-ignoring callers only.
+
+## Extension studies
+
+- `benchmarks/bench_reidentification.py` — linkage accuracy rises with
+  observation epochs and survives the deployed 5% noise (the related-work
+  result).
+- `benchmarks/bench_cookies_vs_topics.py` — third-party-cookie phase-out
+  collapses identifier coverage to ~0; Topics fills each CP's A/B share.
+- `benchmarks/bench_targeting.py` — targeting relevance: cookie profile >
+  Topics > untargeted (the §3 "business metric").
+- `benchmarks/bench_longitudinal.py` — adoption trend snapshots
+  (the paper is the 2024-03-30 row).
+- `benchmarks/bench_vantage.py` — a US vantage sees far fewer consent
+  banners (§6's single-location caveat).
+""")
+
+    output.write_text("\n".join(lines), encoding="utf-8")
+    print(f"wrote {output} in {elapsed:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

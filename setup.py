@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e .`` works on environments whose setuptools predates PEP 660
+editable wheels (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

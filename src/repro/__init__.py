@@ -1,0 +1,31 @@
+"""Reproduction of "A First View of Topics API Usage in the Wild"
+(Verna, Jha, Trevisan, Mellia — CoNEXT 2024).
+
+The paper measures early deployment of Google's Topics API over the
+Tranco top-50k with an instrumented Chromium and a consent-aware crawler.
+This package rebuilds the entire measurement offline:
+
+* :mod:`repro.web` — a calibrated synthetic Web (sites, third parties,
+  consent banners, CMPs, enrolment artefacts);
+* :mod:`repro.browser` — a browser simulator with browsing-context origin
+  semantics and a full Topics API implementation, instrumented exactly
+  where the paper patched Chromium;
+* :mod:`repro.crawler` — the Priv-Accept Before/After-Accept campaign;
+* :mod:`repro.analysis` — Table 1 and Figures 2–7;
+* :mod:`repro.experiments` — one-call end-to-end studies with
+  paper-vs-measured comparisons.
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, run_full_study
+    from repro.analysis.report import render_table1
+
+    result = run_full_study(ExperimentConfig.small(2_000))
+    print(render_table1(result.table1))
+"""
+
+from repro.experiments import ExperimentConfig, StudyResult, run_full_study
+
+__version__ = "1.0.0"
+
+__all__ = ["ExperimentConfig", "StudyResult", "run_full_study", "__version__"]

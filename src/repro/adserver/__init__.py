@@ -1,0 +1,31 @@
+"""The ad-serving substrate: what happens *after* a Topics call.
+
+The paper's Figure 1 ends with the page POSTing the topics array to
+``https://advertiser.com/provide-ad`` and displaying a personalised ad,
+and its §6 names "how websites and advertisers utilize the retrieved
+topics (e.g., by providing different ads)" as the open follow-up.  This
+package builds that endpoint: a topic-targeted ad inventory
+(:mod:`repro.adserver.inventory`), a server choosing creatives from
+topics, cookie profiles, or nothing (:mod:`repro.adserver.server`), and a
+targeting-quality study over a simulated user population comparing the
+three regimes (:mod:`repro.adserver.experiment`) — the "business metric"
+behind §3's A/B tests.
+"""
+
+from repro.adserver.experiment import (
+    TargetingStudy,
+    TargetingStudyResult,
+    render_targeting,
+)
+from repro.adserver.inventory import AdCampaign, Inventory
+from repro.adserver.server import AdResponse, AdServer
+
+__all__ = [
+    "AdCampaign",
+    "AdResponse",
+    "AdServer",
+    "Inventory",
+    "TargetingStudy",
+    "TargetingStudyResult",
+    "render_targeting",
+]

@@ -1,0 +1,121 @@
+"""Topic-targeted ad inventory.
+
+Campaigns target one taxonomy topic each (matching also covers the
+topic's descendants — an advertiser buying "/Sports" reaches soccer
+fans), carry a CPM bid, and include untargeted "house" campaigns that any
+request can fall back to, exactly like real ad stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.taxonomy.tree import TaxonomyTree
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class AdCampaign:
+    """One bookable line item."""
+
+    campaign_id: int
+    advertiser: str
+    target_topic: int | None  # None = untargeted house campaign
+    cpm: float  # price the advertiser pays per thousand impressions
+    creative: str
+
+    @property
+    def targeted(self) -> bool:
+        return self.target_topic is not None
+
+
+class Inventory:
+    """The campaign catalogue an ad server selects from."""
+
+    def __init__(self, taxonomy: TaxonomyTree, campaigns: list[AdCampaign]) -> None:
+        self._taxonomy = taxonomy
+        self._campaigns = list(campaigns)
+        self._by_root: dict[int, list[AdCampaign]] = {}
+        self._house: list[AdCampaign] = []
+        for campaign in self._campaigns:
+            if campaign.target_topic is None:
+                self._house.append(campaign)
+                continue
+            root = taxonomy.root_of(campaign.target_topic).topic_id
+            self._by_root.setdefault(root, []).append(campaign)
+        for bucket in self._by_root.values():
+            bucket.sort(key=lambda c: (-c.cpm, c.campaign_id))
+        self._house.sort(key=lambda c: (-c.cpm, c.campaign_id))
+
+    def __len__(self) -> int:
+        return len(self._campaigns)
+
+    @property
+    def taxonomy(self) -> TaxonomyTree:
+        return self._taxonomy
+
+    def matching(self, topic_id: int) -> list[AdCampaign]:
+        """Campaigns whose target covers ``topic_id`` (self or ancestor),
+        best-paying first."""
+        root = self._taxonomy.root_of(topic_id).topic_id
+        candidates = self._by_root.get(root, [])
+        ancestors = {node.topic_id for node in self._taxonomy.ancestors(topic_id)}
+        ancestors.add(topic_id)
+        return [
+            campaign
+            for campaign in candidates
+            if campaign.target_topic in ancestors
+        ]
+
+    def house_campaigns(self) -> list[AdCampaign]:
+        """Untargeted fallbacks, best-paying first."""
+        return list(self._house)
+
+    @classmethod
+    def generate(
+        cls,
+        taxonomy: TaxonomyTree,
+        seed: int = 1,
+        campaigns_per_root: int = 4,
+        house_campaigns: int = 5,
+    ) -> "Inventory":
+        """Deterministically synthesise a catalogue.
+
+        Each root category gets one campaign targeting the root itself
+        (broad reach) plus several targeting random descendants; targeted
+        campaigns out-bid house ones, as in real markets.
+        """
+        rng = RngStream(seed, "inventory")
+        campaigns: list[AdCampaign] = []
+        next_id = 1
+        for root in taxonomy.roots():
+            targets = [root.topic_id]
+            descendants = taxonomy.descendants(root.topic_id)
+            if descendants:
+                picks = rng.sample(
+                    descendants, min(campaigns_per_root - 1, len(descendants))
+                )
+                targets.extend(node.topic_id for node in picks)
+            for target in targets:
+                campaigns.append(
+                    AdCampaign(
+                        campaign_id=next_id,
+                        advertiser=f"brand{next_id}.example",
+                        target_topic=target,
+                        cpm=round(rng.uniform(2.0, 9.0), 2),
+                        creative=f"creative-{taxonomy.get(target).name}",
+                    )
+                )
+                next_id += 1
+        for _ in range(house_campaigns):
+            campaigns.append(
+                AdCampaign(
+                    campaign_id=next_id,
+                    advertiser="house.example",
+                    target_topic=None,
+                    cpm=round(rng.uniform(0.2, 1.0), 2),
+                    creative="creative-house",
+                )
+            )
+            next_id += 1
+        return cls(taxonomy, campaigns)

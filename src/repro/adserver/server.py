@@ -1,0 +1,100 @@
+"""The ``/provide-ad`` endpoint of Figure 1.
+
+Given whatever signal the request carries — the Topics array, a
+cookie-backed interest profile, or nothing — the server auctions its
+inventory: the best-paying campaign matching any signalled topic wins,
+falling back to an untargeted house campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.adserver.inventory import AdCampaign, Inventory
+from repro.browser.topics.types import Topic
+
+
+@dataclass(frozen=True)
+class AdResponse:
+    """What the page gets back and what the server books."""
+
+    campaign: AdCampaign
+    matched_topic: int | None  # the signalled topic the campaign matched
+    signal: str  # "topics" | "cookie-profile" | "none"
+
+    @property
+    def targeted(self) -> bool:
+        return self.campaign.targeted and self.matched_topic is not None
+
+    @property
+    def revenue(self) -> float:
+        """Revenue for this single impression (CPM / 1000)."""
+        return self.campaign.cpm / 1000.0
+
+
+class AdServer:
+    """Selects creatives from whatever signal arrives."""
+
+    def __init__(self, inventory: Inventory) -> None:
+        self._inventory = inventory
+        self.served: list[AdResponse] = []
+
+    def _best_for_topics(
+        self, topic_ids: Iterable[int], signal: str
+    ) -> AdResponse:
+        best: AdCampaign | None = None
+        best_topic: int | None = None
+        for topic_id in topic_ids:
+            for campaign in self._inventory.matching(topic_id):
+                if best is None or campaign.cpm > best.cpm:
+                    best = campaign
+                    best_topic = topic_id
+                break  # matching() is best-first per topic
+        if best is None:
+            return self._house(signal)
+        response = AdResponse(campaign=best, matched_topic=best_topic, signal=signal)
+        self.served.append(response)
+        return response
+
+    def _house(self, signal: str) -> AdResponse:
+        house = self._inventory.house_campaigns()
+        if not house:
+            raise RuntimeError("inventory has no house campaign to fall back to")
+        response = AdResponse(campaign=house[0], matched_topic=None, signal=signal)
+        self.served.append(response)
+        return response
+
+    # -- the three request kinds --------------------------------------------------
+
+    def provide_ad_for_topics(self, topics: list[Topic]) -> AdResponse:
+        """Figure 1's flow: the page POSTs ``document.browsingTopics()``'s
+        result; the server targets on it."""
+        if not topics:
+            return self._house("topics")
+        return self._best_for_topics(
+            (topic.topic_id for topic in topics), signal="topics"
+        )
+
+    def provide_ad_for_profile(self, interest_topics: Iterable[int]) -> AdResponse:
+        """The third-party-cookie world: the server already holds the
+        user's full interest profile keyed by their tracking identifier."""
+        interests = list(interest_topics)
+        if not interests:
+            return self._house("cookie-profile")
+        return self._best_for_topics(interests, signal="cookie-profile")
+
+    def provide_ad_untargeted(self) -> AdResponse:
+        """No signal at all (phase-out without Topics adoption)."""
+        return self._house("none")
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def revenue_by_signal(self) -> dict[str, float]:
+        """Total booked revenue per signal kind."""
+        totals: dict[str, float] = {}
+        for response in self.served:
+            totals[response.signal] = totals.get(response.signal, 0.0) + (
+                response.revenue
+            )
+        return totals

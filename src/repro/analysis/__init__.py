@@ -1,0 +1,56 @@
+"""The paper's results pipeline.
+
+Each module regenerates one piece of the evaluation from the crawl
+datasets plus the enrolment artefacts:
+
+* :mod:`repro.analysis.classify` — caller status and Table 1;
+* :mod:`repro.analysis.pervasiveness` — Figure 2 and the 45%-of-sites stat;
+* :mod:`repro.analysis.abtest` — Figure 3 and the ON/OFF alternation
+  detection of §3;
+* :mod:`repro.analysis.anomalous` — §4's anomalous-usage breakdown;
+* :mod:`repro.analysis.questionable` — Figures 5 and 6;
+* :mod:`repro.analysis.cmp_analysis` — Figure 7;
+* :mod:`repro.analysis.enrollment` — §3's enrolment timeline;
+* :mod:`repro.analysis.report` — plain-text rendering of every artefact.
+"""
+
+from repro.analysis.abtest import AlternationFinding, EnabledRate, detect_alternation, figure3
+from repro.analysis.anomalous import AnomalousReport, analyze_anomalous
+from repro.analysis.classify import CallerStatus, Table1, build_table1, classify_caller
+from repro.analysis.cmp_analysis import CmpRow, figure7
+from repro.analysis.enrollment import EnrollmentTimeline, enrollment_timeline
+from repro.analysis.pervasiveness import (
+    CpPresence,
+    figure2,
+    share_of_sites_with_call,
+)
+from repro.analysis.questionable import (
+    QuestionableByRegion,
+    QuestionableCp,
+    figure5,
+    figure6,
+)
+
+__all__ = [
+    "AlternationFinding",
+    "AnomalousReport",
+    "CallerStatus",
+    "CmpRow",
+    "CpPresence",
+    "EnabledRate",
+    "EnrollmentTimeline",
+    "QuestionableByRegion",
+    "QuestionableCp",
+    "Table1",
+    "analyze_anomalous",
+    "build_table1",
+    "classify_caller",
+    "detect_alternation",
+    "enrollment_timeline",
+    "figure2",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "share_of_sites_with_call",
+]

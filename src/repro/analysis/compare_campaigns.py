@@ -1,0 +1,122 @@
+"""Campaign-to-campaign diffs: what changed between two crawls.
+
+The continuous-monitoring workflow (§6) needs more than per-snapshot
+numbers — it needs the *delta*: which calling parties appeared or
+disappeared, whose A/B rates moved, and how the questionable population
+shifted.  This module diffs two campaigns of the same ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet
+
+from repro.analysis.abtest import figure3
+from repro.analysis.pervasiveness import legitimate_callers
+from repro.crawler.campaign import CrawlResult
+
+
+@dataclass(frozen=True)
+class RateChange:
+    """One CP's enabled-rate movement between two campaigns."""
+
+    caller: str
+    before_percent: float
+    after_percent: float
+
+    @property
+    def delta(self) -> float:
+        return self.after_percent - self.before_percent
+
+
+@dataclass(frozen=True)
+class CampaignDiff:
+    """What changed from ``before`` to ``after``."""
+
+    new_callers: tuple[str, ...]  # legit CPs calling only in `after`
+    gone_callers: tuple[str, ...]  # ... only in `before`
+    rate_changes: tuple[RateChange, ...]  # CPs active in both, by |delta|
+    questionable_delta: int  # change in distinct questionable CPs
+
+    @property
+    def churn(self) -> int:
+        return len(self.new_callers) + len(self.gone_callers)
+
+
+def _legit_callers_of(result: CrawlResult) -> AbstractSet[str]:
+    legit = legitimate_callers(result.allowed_domains, result.survey)
+    return result.d_aa.calling_parties() & legit
+
+
+def _questionable_of(result: CrawlResult) -> AbstractSet[str]:
+    legit = legitimate_callers(result.allowed_domains, result.survey)
+    return result.d_ba.calling_parties() & legit
+
+
+def diff_campaigns(
+    before: CrawlResult,
+    after: CrawlResult,
+    min_rate_delta: float = 5.0,
+) -> CampaignDiff:
+    """Diff two campaigns (typically two monitoring snapshots).
+
+    ``min_rate_delta`` filters rate noise: only movements of at least
+    that many percentage points are reported.
+    """
+    before_cps = _legit_callers_of(before)
+    after_cps = _legit_callers_of(after)
+
+    before_rates = {
+        row.caller: row.enabled_percent
+        for row in figure3(
+            before.d_aa, before.allowed_domains, before.survey,
+            top=10_000, min_presence=10,
+        )
+    }
+    after_rates = {
+        row.caller: row.enabled_percent
+        for row in figure3(
+            after.d_aa, after.allowed_domains, after.survey,
+            top=10_000, min_presence=10,
+        )
+    }
+    changes = [
+        RateChange(
+            caller=caller,
+            before_percent=before_rates[caller],
+            after_percent=after_rates[caller],
+        )
+        for caller in sorted(before_cps & after_cps)
+        if caller in before_rates and caller in after_rates
+    ]
+    changes = [c for c in changes if abs(c.delta) >= min_rate_delta]
+    changes.sort(key=lambda c: (-abs(c.delta), c.caller))
+
+    return CampaignDiff(
+        new_callers=tuple(sorted(after_cps - before_cps)),
+        gone_callers=tuple(sorted(before_cps - after_cps)),
+        rate_changes=tuple(changes),
+        questionable_delta=len(_questionable_of(after)) - len(
+            _questionable_of(before)
+        ),
+    )
+
+
+def render_diff(diff: CampaignDiff) -> str:
+    """Text rendering of a campaign diff."""
+    lines = ["Campaign diff"]
+    lines.append(
+        f"  new active CPs:   {', '.join(diff.new_callers) or '(none)'}"
+    )
+    lines.append(
+        f"  gone active CPs:  {', '.join(diff.gone_callers) or '(none)'}"
+    )
+    lines.append(f"  questionable CPs: {diff.questionable_delta:+d}")
+    if diff.rate_changes:
+        lines.append("  enabled-rate movements:")
+        for change in diff.rate_changes[:15]:
+            lines.append(
+                f"    {change.caller:<24} {change.before_percent:5.1f}%"
+                f" → {change.after_percent:5.1f}%  ({change.delta:+.1f} pp)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Cookies vs Topics: the comparison behind §3's A/B tests.
+
+"They test how well the Topics API paradigm behaves compared with the
+standard third-party cookie solutions for their business metric."  This
+experiment quantifies the trade the whole paper is set against: for each
+calling party, what fraction of its ad impressions come with a stable
+cross-site identifier (cookies, with and without the third-party-cookie
+phase-out) versus an interest signal (a Topics call).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.browser.browser import Browser
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+
+@dataclass(frozen=True)
+class TrackingComparison:
+    """One CP's tracking coverage under the three regimes."""
+
+    caller: str
+    impressions: int
+    cookie_id_rate_3pc_on: float  # share of impressions with a stable ID today
+    cookie_id_rate_3pc_off: float  # ... after the phase-out
+    topics_call_rate: float  # share of impressions with a Topics call
+
+    @property
+    def phaseout_loss(self) -> float:
+        """Identifier coverage the phase-out destroys."""
+        return self.cookie_id_rate_3pc_on - self.cookie_id_rate_3pc_off
+
+
+def compare_tracking(
+    world: "SyntheticWeb",
+    site_limit: int = 5_000,
+    min_impressions: int = 20,
+) -> list[TrackingComparison]:
+    """Visit the top ``site_limit`` sites (consented) under both cookie
+    regimes and tally per-CP coverage."""
+    with_cookies = Browser(world, corrupt_allowlist=True, third_party_cookies=True)
+    without_cookies = Browser(
+        world, corrupt_allowlist=True, third_party_cookies=False, user_seed=0
+    )
+
+    topics_calls: Counter[str] = Counter()
+    for rank, domain in world.tranco:
+        if rank > site_limit:
+            break
+        outcome = with_cookies.visit(domain, consent_granted=True)
+        without_cookies.visit(domain, consent_granted=True)
+        if not outcome.ok:
+            continue
+        for caller in {call.caller for call in outcome.topics_calls}:
+            topics_calls[caller] += 1
+
+    def coverage(browser: Browser) -> tuple[Counter, Counter]:
+        total: Counter[str] = Counter()
+        with_id: Counter[str] = Counter()
+        for caller, _site, had_id in browser.cookie_tracker.impressions:
+            total[caller] += 1
+            if had_id:
+                with_id[caller] += 1
+        return total, with_id
+
+    total_on, with_id_on = coverage(with_cookies)
+    total_off, with_id_off = coverage(without_cookies)
+
+    rows: list[TrackingComparison] = []
+    for caller, impressions in total_on.items():
+        if impressions < min_impressions:
+            continue
+        rows.append(
+            TrackingComparison(
+                caller=caller,
+                impressions=impressions,
+                cookie_id_rate_3pc_on=with_id_on[caller] / impressions,
+                cookie_id_rate_3pc_off=(
+                    with_id_off[caller] / total_off[caller]
+                    if total_off[caller]
+                    else 0.0
+                ),
+                topics_call_rate=topics_calls[caller] / impressions,
+            )
+        )
+    rows.sort(key=lambda row: (-row.impressions, row.caller))
+    return rows
+
+
+def render_comparison(rows: list[TrackingComparison], top: int = 15) -> str:
+    """Text table of the coverage comparison."""
+    lines = [
+        f"{'calling party':<24} {'impr.':>7} {'id (3PC on)':>12}"
+        f" {'id (3PC off)':>13} {'topics':>8}",
+    ]
+    for row in rows[:top]:
+        lines.append(
+            f"{row.caller:<24} {row.impressions:>7}"
+            f" {row.cookie_id_rate_3pc_on:>11.0%}"
+            f" {row.cookie_id_rate_3pc_off:>12.0%}"
+            f" {row.topics_call_rate:>7.0%}"
+        )
+    return "\n".join(lines)

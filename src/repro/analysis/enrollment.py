@@ -1,0 +1,76 @@
+"""§3: the enrolment timeline read off the attestation files.
+
+"Processing each CP attestation file, we observe the onboarding process
+... by extracting the attestation certificate issue date.  Enrolments
+kicked off in June 2023, the first attestation being on the 16th.  Until
+May 2024 the enrolment process continues at a low pace: each month,
+approximately a dozen new services obtain the attestation."
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.crawler.wellknown import AttestationSurvey
+
+
+@dataclass(frozen=True)
+class EnrollmentTimeline:
+    """Attestation issue dates aggregated per calendar month."""
+
+    first_date: _dt.date | None
+    last_date: _dt.date | None
+    monthly_counts: dict[str, int]  # "YYYY-MM" → enrolments that month
+    total: int
+
+    @property
+    def mean_per_month(self) -> float:
+        """Average enrolments per month over the active span."""
+        if not self.monthly_counts or self.first_date is None:
+            return 0.0
+        assert self.last_date is not None
+        months = (
+            (self.last_date.year - self.first_date.year) * 12
+            + (self.last_date.month - self.first_date.month)
+            + 1
+        )
+        return self.total / months
+
+    def count_in(self, year: int, month: int) -> int:
+        return self.monthly_counts.get(f"{year:04d}-{month:02d}", 0)
+
+
+def enrollment_timeline(survey: AttestationSurvey) -> EnrollmentTimeline:
+    """Build the timeline from every attested party's issue date."""
+    dates: list[_dt.date] = []
+    for domain, issued in survey.issue_dates().items():
+        try:
+            dates.append(_dt.date.fromisoformat(issued))
+        except ValueError:
+            continue  # a malformed date is a broken deployment, not data
+    if not dates:
+        return EnrollmentTimeline(
+            first_date=None, last_date=None, monthly_counts={}, total=0
+        )
+    dates.sort()
+    monthly = Counter(f"{d.year:04d}-{d.month:02d}" for d in dates)
+    return EnrollmentTimeline(
+        first_date=dates[0],
+        last_date=dates[-1],
+        monthly_counts=dict(monthly),
+        total=len(dates),
+    )
+
+
+def migration_adoption(survey: AttestationSurvey) -> float:
+    """Share of attested parties whose file carries ``enrollment_site`` —
+    0 before the 2024-10-17 schema migration, ≈1 after re-issuance."""
+    attested = [
+        survey.probe(domain) for domain in survey.attested_domains()
+    ]
+    if not attested:
+        return 0.0
+    with_field = sum(1 for probe in attested if probe and probe.has_enrollment_site)
+    return with_field / len(attested)

@@ -1,0 +1,143 @@
+"""CSV export of every table and figure.
+
+Plotting lives outside this repository (no plotting dependency is
+installed); these exporters emit one tidy CSV per artefact so any plotting
+tool can regenerate the paper's figures from a study.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.web.tlds import Region
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import StudyResult
+
+
+def export_study(result: "StudyResult", directory: str | Path) -> list[Path]:
+    """Write every artefact's CSV under ``directory``; returns the paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = [
+        _export_table1(result, target / "table1.csv"),
+        _export_figure2(result, target / "figure2.csv"),
+        _export_figure3(result, target / "figure3.csv"),
+        _export_figure5(result, target / "figure5.csv"),
+        _export_figure6(result, target / "figure6.csv"),
+        _export_figure7(result, target / "figure7.csv"),
+        _export_anomalous(result, target / "anomalous.csv"),
+        _export_enrollment(result, target / "enrollment_timeline.csv"),
+    ]
+    return written
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> Path:
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def _export_table1(result: "StudyResult", path: Path) -> Path:
+    rows = [
+        [section or "allowlist", label, count]
+        for section, label, count in result.table1.as_rows()
+    ]
+    return _write(path, ["section", "status", "count"], rows)
+
+
+def _export_figure2(result: "StudyResult", path: Path) -> Path:
+    rows = [
+        [row.caller, row.present_on, row.called_on, f"{row.call_share:.4f}"]
+        for row in result.fig2
+    ]
+    return _write(path, ["caller", "present_on", "called_on", "call_share"], rows)
+
+
+def _export_figure3(result: "StudyResult", path: Path) -> Path:
+    rows = [
+        [row.caller, row.present_on, row.called_on, f"{row.enabled_percent:.2f}"]
+        for row in result.fig3
+    ]
+    return _write(
+        path, ["caller", "present_on", "called_on", "enabled_percent"], rows
+    )
+
+
+def _export_figure5(result: "StudyResult", path: Path) -> Path:
+    rows = [[row.caller, row.websites] for row in result.fig5]
+    return _write(path, ["caller", "websites_with_questionable_call"], rows)
+
+
+def _export_figure6(result: "StudyResult", path: Path) -> Path:
+    rows = []
+    for row in result.fig6:
+        for region in Region:
+            rows.append(
+                [
+                    row.caller,
+                    str(region),
+                    row.present.get(region, 0),
+                    row.called.get(region, 0),
+                    f"{row.enabled_percent(region):.2f}",
+                ]
+            )
+    return _write(
+        path, ["caller", "region", "present", "called", "enabled_percent"], rows
+    )
+
+
+def _export_figure7(result: "StudyResult", path: Path) -> Path:
+    rows = [
+        [
+            row.name,
+            row.sites_total,
+            row.sites_questionable,
+            f"{row.p_cmp:.6f}",
+            f"{row.p_cmp_given_questionable:.6f}",
+            f"{row.p_questionable_given_cmp:.6f}",
+            f"{row.lift:.3f}",
+        ]
+        for row in result.fig7
+    ]
+    return _write(
+        path,
+        [
+            "cmp",
+            "sites_total",
+            "sites_questionable",
+            "p_cmp",
+            "p_cmp_given_questionable",
+            "p_questionable_given_cmp",
+            "lift",
+        ],
+        rows,
+    )
+
+
+def _export_anomalous(result: "StudyResult", path: Path) -> Path:
+    report = result.anomalous
+    rows = [
+        ["total_calls", report.total_calls],
+        ["distinct_callers", report.distinct_callers],
+        ["affected_sites", report.affected_sites],
+        ["gtm_site_fraction", f"{report.gtm_site_fraction:.4f}"],
+        ["javascript_fraction", f"{report.javascript_fraction:.4f}"],
+    ]
+    rows.extend(
+        [f"attribution:{label}", count]
+        for label, count in sorted(report.attribution_counts.items())
+    )
+    return _write(path, ["metric", "value"], rows)
+
+
+def _export_enrollment(result: "StudyResult", path: Path) -> Path:
+    rows = [
+        [month, count]
+        for month, count in sorted(result.enrollment.monthly_counts.items())
+    ]
+    return _write(path, ["month", "enrollments"], rows)

@@ -1,0 +1,137 @@
+"""Plain-text rendering of every table and figure.
+
+The benchmark harness prints these — the same rows/series the paper
+reports — so a run's output can be eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.abtest import EnabledRate
+from repro.analysis.anomalous import AnomalousReport
+from repro.analysis.classify import Table1
+from repro.analysis.cmp_analysis import CmpRow, average_questionable_rate
+from repro.analysis.enrollment import EnrollmentTimeline
+from repro.analysis.pervasiveness import CpPresence
+from repro.analysis.questionable import QuestionableByRegion, QuestionableCp
+from repro.web.tlds import Region
+
+
+def render_table1(table: Table1) -> str:
+    """Table 1: overall status of Topics API usage."""
+    lines = ["Table 1 — Overall status of Topics API usage"]
+    for section, label, count in table.as_rows():
+        prefix = f"{section:>4} | " if section else "     | "
+        lines.append(f"{prefix}{label:<22} {count:>6}")
+    if table.aa_not_allowed_attested_callers:
+        names = ", ".join(table.aa_not_allowed_attested_callers)
+        lines.append(f"     | (!Allowed & Attested: {names})")
+    return "\n".join(lines)
+
+
+def render_figure2(rows: list[CpPresence]) -> str:
+    """Figure 2: websites where a CP is present vs where it called."""
+    lines = [
+        "Figure 2 — CP presence vs Topics API calls (D_AA)",
+        f"{'calling party':<24} {'present':>8} {'called':>8} {'share':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.caller:<24} {row.present_on:>8} {row.called_on:>8}"
+            f" {100 * row.call_share:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_figure3(rows: list[EnabledRate]) -> str:
+    """Figure 3: enabled percentage per CP (the A/B splits)."""
+    lines = [
+        "Figure 3 — Fraction of presences with a Topics call (D_AA)",
+        f"{'calling party':<24} {'observed':>9} {'enabled':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.caller:<24} {row.present_on:>9} {row.enabled_percent:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_figure5(rows: list[QuestionableCp]) -> str:
+    """Figure 5: questionable calls per CP."""
+    lines = [
+        "Figure 5 — Websites with questionable (pre-consent) calls (D_BA)",
+        f"{'calling party':<24} {'websites':>9}",
+    ]
+    for row in rows:
+        lines.append(f"{row.caller:<24} {row.websites:>9}")
+    return "\n".join(lines)
+
+
+def render_figure6(rows: list[QuestionableByRegion]) -> str:
+    """Figure 6: per-TLD-region questionable behaviour of top CPs."""
+    regions = list(Region)
+    header = f"{'calling party':<18}" + "".join(
+        f" {str(region):>12}" for region in regions
+    )
+    lines = ["Figure 6 — Questionable-call share by website TLD region (D_BA)",
+             header]
+    for row in rows:
+        presence = f"{row.caller:<18}" + "".join(
+            f" {row.present.get(region, 0):>12}" for region in regions
+        )
+        share = f"{'  enabled %':<18}" + "".join(
+            f" {row.enabled_percent(region):>11.1f}%" for region in regions
+        )
+        lines.append(presence)
+        lines.append(share)
+    return "\n".join(lines)
+
+
+def render_figure7(rows: list[CmpRow]) -> str:
+    """Figure 7: P(CMP) vs P(CMP | questionable call)."""
+    lines = [
+        "Figure 7 — CMP probability, unconditional vs given a questionable call (D_BA)",
+        f"{'CMP':<20} {'P(CMP)':>8} {'P(CMP|q)':>9} {'lift':>6} {'P(q|CMP)':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<20} {100 * row.p_cmp:>7.2f}% {100 * row.p_cmp_given_questionable:>8.2f}%"
+            f" {row.lift:>5.1f}x {100 * row.p_questionable_given_cmp:>8.2f}%"
+        )
+    lines.append(
+        f"{'(average)':<20} {'':>8} {'':>9} {'':>6}"
+        f" {100 * average_questionable_rate(rows):>8.2f}%"
+    )
+    return "\n".join(lines)
+
+
+def render_anomalous(report: AnomalousReport) -> str:
+    """§4's anomalous-usage breakdown."""
+    lines = [
+        "Section 4 — Anomalous usage (not-Allowed callers, D_AA)",
+        f"  total calls:       {report.total_calls}",
+        f"  distinct callers:  {report.distinct_callers}",
+        f"  affected sites:    {report.affected_sites}",
+        f"  JavaScript share:  {100 * report.javascript_fraction:.1f}%",
+        f"  GTM on site:       {100 * report.gtm_site_fraction:.1f}%",
+        "  attribution:",
+    ]
+    total = max(report.total_calls, 1)
+    for label, count in sorted(
+        report.attribution_counts.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"    {label:<28} {count:>6} ({100 * count / total:.1f}%)")
+    return "\n".join(lines)
+
+
+def render_enrollment(timeline: EnrollmentTimeline) -> str:
+    """§3's enrolment timeline."""
+    lines = [
+        "Section 3 — Enrolment timeline (attestation issue dates)",
+        f"  first attestation: {timeline.first_date}",
+        f"  last attestation:  {timeline.last_date}",
+        f"  total attested:    {timeline.total}",
+        f"  mean per month:    {timeline.mean_per_month:.1f}",
+    ]
+    for month in sorted(timeline.monthly_counts):
+        lines.append(f"    {month}  {timeline.monthly_counts[month]:>4}")
+    return "\n".join(lines)

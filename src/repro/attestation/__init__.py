@@ -1,0 +1,31 @@
+"""Privacy Sandbox enrolment artefacts (paper §2.3).
+
+Three pieces gate who may call the Topics API:
+
+* the browser-side **allow-list** shipped as
+  ``privacy-sandbox-attestations.dat`` (:mod:`repro.attestation.allowlist`),
+  including the corrupted-database default-allow bug the paper discovered;
+* the caller-side **attestation file** served at
+  ``/.well-known/privacy-sandbox-attestations.json``
+  (:mod:`repro.attestation.wellknown`);
+* the **enrolment registry** modelling Google's onboarding timeline and
+  producing both artefacts (:mod:`repro.attestation.registry`).
+"""
+
+from repro.attestation.allowlist import AllowList, AllowListDatabase
+from repro.attestation.registry import Enrollment, EnrollmentRegistry
+from repro.attestation.wellknown import (
+    WELL_KNOWN_PATH,
+    AttestationFile,
+    validate_attestation_json,
+)
+
+__all__ = [
+    "WELL_KNOWN_PATH",
+    "AllowList",
+    "AllowListDatabase",
+    "AttestationFile",
+    "Enrollment",
+    "EnrollmentRegistry",
+    "validate_attestation_json",
+]

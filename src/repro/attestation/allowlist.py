@@ -1,0 +1,182 @@
+"""The browser-side enrolment allow-list.
+
+Chromium stores the set of enrolled sites in a preloaded component file
+(``privacy-sandbox-attestations.dat`` under the
+``PrivacySandboxAttestationsPreloaded`` folder) and consults it on every
+Topics API call.  The paper's key instrumentation trick (§2.3) relies on a
+Chromium bug: **when that database is corrupted or missing, the browser
+default-allows every caller**.  We reproduce the file format round-trip,
+the healthy-path gating, and the buggy default-allow path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.util.psl import etld_plus_one
+
+#: File name Chromium uses for the preloaded allow-list component.
+ALLOWLIST_FILENAME = "privacy-sandbox-attestations.dat"
+
+_MAGIC = "PSAT"
+_FORMAT_VERSION = 1
+
+
+class GatingDecision(enum.Enum):
+    """Why a Topics API call was allowed or blocked by enrolment gating."""
+
+    ALLOWED_ENROLLED = "allowed-enrolled"
+    BLOCKED_NOT_ENROLLED = "blocked-not-enrolled"
+    ALLOWED_DATABASE_CORRUPT = "allowed-database-corrupt"  # the Chromium bug
+
+    @property
+    def allowed(self) -> bool:
+        return self is not GatingDecision.BLOCKED_NOT_ENROLLED
+
+
+@dataclass(frozen=True)
+class AllowList:
+    """An immutable set of enrolled registrable domains."""
+
+    domains: frozenset[str]
+
+    @classmethod
+    def of(cls, domains: Iterable[str]) -> "AllowList":
+        """Build an allow-list, normalising each entry to its eTLD+1."""
+        return cls(frozenset(etld_plus_one(d) for d in domains))
+
+    def __contains__(self, hostname: str) -> bool:
+        return etld_plus_one(hostname) in self.domains
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def serialize(self) -> str:
+        """Render the ``.dat`` component payload.
+
+        Real Chromium ships a protobuf; we use a versioned, checksummed
+        line format that supports the same operations (parse, verify,
+        detect corruption).
+        """
+        body_lines = sorted(self.domains)
+        checksum = _checksum(body_lines)
+        header = f"{_MAGIC} v{_FORMAT_VERSION} n={len(body_lines)} sum={checksum}"
+        return "\n".join([header, *body_lines]) + "\n"
+
+
+@dataclass
+class AllowListDatabase:
+    """The browser's mutable view of the allow-list component.
+
+    The browser refreshes this at startup (:meth:`update`); experiments can
+    :meth:`corrupt` or :meth:`remove` it to trigger the default-allow bug.
+    """
+
+    _payload: str | None = None
+    _parsed: AllowList | None = field(default=None, repr=False)
+    _corrupt: bool = False
+
+    @classmethod
+    def from_allowlist(cls, allowlist: AllowList) -> "AllowListDatabase":
+        database = cls()
+        database.update(allowlist.serialize())
+        return database
+
+    def update(self, payload: str) -> None:
+        """Install a fresh component payload, re-parsing it."""
+        self._payload = payload
+        try:
+            self._parsed = parse_allowlist(payload)
+            self._corrupt = False
+        except AllowListCorruptError:
+            self._parsed = None
+            self._corrupt = True
+
+    def corrupt(self) -> None:
+        """Flip bytes in the stored payload, as the paper did on purpose."""
+        if self._payload is None:
+            self._corrupt = True
+            return
+        damaged = self._payload.replace(_MAGIC, "XXXX", 1) + "garbage\x00"
+        self.update(damaged)
+
+    def remove(self) -> None:
+        """Delete the component file entirely (also triggers the bug)."""
+        self._payload = None
+        self._parsed = None
+        self._corrupt = True
+
+    @property
+    def is_corrupt(self) -> bool:
+        """True when the database is missing or failed to parse."""
+        return self._corrupt or self._parsed is None
+
+    @property
+    def allowlist(self) -> AllowList | None:
+        """The parsed allow-list, or None when corrupt/missing."""
+        return self._parsed
+
+    def check_caller(self, caller_host: str) -> GatingDecision:
+        """Gate one Topics API call.
+
+        Healthy database: allow iff the caller's eTLD+1 is enrolled.
+        Corrupt or missing database: **allow unconditionally** — this is
+        the implementation error described in paper §2.3 ("the current
+        implementation permits any Topics API calls as default case when
+        the internal database is corrupted or missing").
+        """
+        if self.is_corrupt:
+            return GatingDecision.ALLOWED_DATABASE_CORRUPT
+        assert self._parsed is not None
+        if caller_host in self._parsed:
+            return GatingDecision.ALLOWED_ENROLLED
+        return GatingDecision.BLOCKED_NOT_ENROLLED
+
+
+class AllowListCorruptError(ValueError):
+    """Raised when an allow-list payload fails structural validation."""
+
+
+def parse_allowlist(payload: str) -> AllowList:
+    """Parse and verify a serialized allow-list payload.
+
+    Raises :class:`AllowListCorruptError` on any structural damage (bad
+    magic, version, count or checksum mismatch, malformed entries).
+    """
+    lines = payload.splitlines()
+    if not lines:
+        raise AllowListCorruptError("empty payload")
+    header_parts = lines[0].split()
+    if len(header_parts) != 4 or header_parts[0] != _MAGIC:
+        raise AllowListCorruptError("bad magic/header")
+    if header_parts[1] != f"v{_FORMAT_VERSION}":
+        raise AllowListCorruptError(f"unsupported version {header_parts[1]!r}")
+    try:
+        expected_count = int(header_parts[2].removeprefix("n="))
+        expected_sum = header_parts[3].removeprefix("sum=")
+    except ValueError as exc:
+        raise AllowListCorruptError("malformed header fields") from exc
+
+    body = lines[1:]
+    if len(body) != expected_count:
+        raise AllowListCorruptError(
+            f"entry count mismatch: header says {expected_count}, found {len(body)}"
+        )
+    if _checksum(body) != expected_sum:
+        raise AllowListCorruptError("checksum mismatch")
+    for entry in body:
+        if not entry or " " in entry or "." not in entry:
+            raise AllowListCorruptError(f"malformed entry {entry!r}")
+    return AllowList(frozenset(body))
+
+
+def _checksum(lines: list[str]) -> str:
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for line in lines:
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()[:16]

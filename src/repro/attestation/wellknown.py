@@ -1,0 +1,118 @@
+"""Caller-side attestation files.
+
+Every enrolled caller must serve a JSON attestation at
+``/.well-known/privacy-sandbox-attestations.json`` declaring it will not
+use the Topics API for cross-site re-identification (paper §2.3).  The
+paper extracts two facts from these files: whether a **valid** file exists
+(the *Attested* label) and its **issue date** (the enrolment timeline of
+§3, including the 2024-10-17 migration that added the ``enrollment_site``
+field).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.util.timeline import Timestamp, date_of
+
+#: URL path at which attestation files are served.
+WELL_KNOWN_PATH = "/.well-known/privacy-sandbox-attestations.json"
+
+#: The attestation the Topics API requires callers to make.
+TOPICS_ATTESTATION_KEY = "ServiceNotUsedForIdentifyingUserAcrossSites"
+
+_PARSER_VERSION = "2"
+
+
+@dataclass(frozen=True)
+class AttestationFile:
+    """A parsed, structurally valid attestation file.
+
+    ``issued_at`` is the attestation certificate issue timestamp the paper
+    reads to reconstruct the enrolment timeline.  ``has_enrollment_site``
+    distinguishes pre- and post-migration files (§3: "on October 17th,
+    2024, many of the enrolled CPs had to update their attestations to
+    include the new enrollment_site field").
+    """
+
+    domain: str
+    issued_at: Timestamp
+    attests_topics: bool
+    has_enrollment_site: bool
+
+    def to_json(self) -> str:
+        """Serialise in the Privacy Sandbox attestation schema shape."""
+        group: dict = {
+            "attestation_parser_version": _PARSER_VERSION,
+            "attestations": [
+                {
+                    "attestation_group_1": {
+                        "issued": date_of(self.issued_at).isoformat(),
+                        "expiry": "",
+                        "platform_attestations": [
+                            {
+                                "platform": "chrome",
+                                "attestations": {
+                                    "topics_api": {
+                                        TOPICS_ATTESTATION_KEY: self.attests_topics
+                                    }
+                                },
+                            }
+                        ],
+                    }
+                }
+            ],
+        }
+        if self.has_enrollment_site:
+            group["attestations"][0]["attestation_group_1"]["enrollment_site"] = (
+                f"https://{self.domain}"
+            )
+        return json.dumps(group, indent=2)
+
+
+class AttestationValidationError(ValueError):
+    """Raised when a served attestation file is structurally invalid."""
+
+
+def validate_attestation_json(domain: str, payload: str) -> dict:
+    """Validate a served attestation payload for ``domain``.
+
+    Returns a summary dict with keys ``issued`` (ISO date string),
+    ``attests_topics`` (bool) and ``has_enrollment_site`` (bool).  Raises
+    :class:`AttestationValidationError` on malformed or non-attesting
+    files — a party serving an invalid file is *not* Attested.
+    """
+    try:
+        document = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise AttestationValidationError(f"{domain}: not JSON") from exc
+    if not isinstance(document, dict):
+        raise AttestationValidationError(f"{domain}: not a JSON object")
+    if document.get("attestation_parser_version") != _PARSER_VERSION:
+        raise AttestationValidationError(f"{domain}: bad parser version")
+    groups = document.get("attestations")
+    if not isinstance(groups, list) or not groups:
+        raise AttestationValidationError(f"{domain}: missing attestations")
+    group = groups[0].get("attestation_group_1")
+    if not isinstance(group, dict):
+        raise AttestationValidationError(f"{domain}: missing attestation group")
+
+    platforms = group.get("platform_attestations")
+    if not isinstance(platforms, list) or not platforms:
+        raise AttestationValidationError(f"{domain}: missing platform attestations")
+    attests_topics = False
+    for platform in platforms:
+        topics = platform.get("attestations", {}).get("topics_api", {})
+        if topics.get(TOPICS_ATTESTATION_KEY) is True:
+            attests_topics = True
+    if not attests_topics:
+        raise AttestationValidationError(f"{domain}: does not attest the Topics API")
+
+    enrollment_site = group.get("enrollment_site")
+    has_enrollment_site = isinstance(enrollment_site, str) and bool(enrollment_site)
+    return {
+        "issued": group.get("issued", ""),
+        "attests_topics": True,
+        "has_enrollment_site": has_enrollment_site,
+    }

@@ -1,0 +1,24 @@
+"""The browser simulator.
+
+A faithful, minimal stand-in for the paper's instrumented Chromium: page
+loading with a network log (:mod:`repro.browser.network`), a browsing
+context tree with HTML-spec origin semantics (:mod:`repro.browser.context`),
+a script runtime executing third-party behaviours including Google Tag
+Manager's rogue root-context call (:mod:`repro.browser.script`), and a full
+Topics API implementation with the instrumentation hook the paper added to
+``BrowsingTopicsSiteDataManagerImpl`` (:mod:`repro.browser.topics`).
+"""
+
+from repro.browser.browser import Browser, VisitOutcome
+from repro.browser.topics.api import TopicsApi
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager, TopicsApiCall
+from repro.browser.topics.types import ApiCallType
+
+__all__ = [
+    "ApiCallType",
+    "Browser",
+    "BrowsingTopicsSiteDataManager",
+    "TopicsApi",
+    "TopicsApiCall",
+    "VisitOutcome",
+]

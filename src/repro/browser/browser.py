@@ -1,0 +1,199 @@
+"""The browser: navigation, rendering, and Topics instrumentation.
+
+One :class:`Browser` models the crawler's Chromium profile: it owns the
+browsing history, the (possibly deliberately corrupted) enrolment
+allow-list database, the cache, the consent ledger and the instrumented
+Topics manager.  :meth:`Browser.visit` performs one page load end to end —
+redirects, resource fetches, consent gating, script execution, iframe
+contexts — and returns everything the paper's crawler records about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.attestation.allowlist import AllowListDatabase
+from repro.browser.consent import ConsentLedger
+from repro.browser.context import root_context_for
+from repro.browser.cookies import CookieJar, CookieTracker
+from repro.browser.network import BrowserCache, NetworkLog, NetworkStack
+from repro.browser.script import ScriptOriginMode, ScriptRuntime
+from repro.browser.failures import failure_kind_for
+from repro.browser.topics.api import TopicsApi
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager, TopicsApiCall
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.taxonomy.classifier import SiteClassifier
+from repro.util.text import stable_digest
+from repro.util.timeline import SimClock
+from repro.web.banner import ConsentBanner
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+#: Error label for a domain outside the generated world entirely
+#: (real failure causes come from :mod:`repro.browser.failures`).
+ERROR_UNKNOWN_HOST = "unknown-host"
+
+
+@dataclass(frozen=True)
+class VisitOutcome:
+    """Everything one visit produced (one row of the crawl datasets)."""
+
+    requested_domain: str
+    ok: bool
+    error: str | None = None
+    final_domain: str = ""
+    url: str = ""
+    final_url: str = ""
+    consent_granted: bool = False
+    banner: ConsentBanner | None = None
+    loaded_hosts: frozenset[str] = frozenset()
+    third_party_domains: frozenset[str] = frozenset()
+    topics_calls: tuple[TopicsApiCall, ...] = ()
+
+    @property
+    def redirected(self) -> bool:
+        return self.ok and self.final_domain != self.requested_domain
+
+
+class Browser:
+    """A stateful simulated Chromium profile."""
+
+    def __init__(
+        self,
+        world: "SyntheticWeb",
+        clock: SimClock | None = None,
+        corrupt_allowlist: bool = False,
+        user_seed: int = 0,
+        classifier: SiteClassifier | None = None,
+        script_origin_mode: ScriptOriginMode = ScriptOriginMode.EMBEDDER,
+        third_party_cookies: bool = True,
+        topics_enabled: bool = True,
+    ) -> None:
+        self._world = world
+        self.clock = clock if clock is not None else SimClock()
+        self.consent = ConsentLedger()
+        self.cookie_jar = CookieJar(third_party_cookies_enabled=third_party_cookies)
+        self.cookie_tracker = CookieTracker(self.cookie_jar, profile_seed=user_seed)
+
+        self.allowlist_db = AllowListDatabase.from_allowlist(
+            world.registry.allowlist()
+        )
+        if corrupt_allowlist:
+            # The paper's instrumentation trick (§2.3): a corrupted
+            # database makes the browser default-allow every caller, so
+            # not-Allowed call attempts become observable.
+            self.allowlist_db.corrupt()
+
+        selector = EpochTopicsSelector(
+            classifier=classifier if classifier is not None else SiteClassifier(),
+            user_seed=user_seed,
+        )
+        # The paper's crawler opts the profile in (§2.2); a default Chrome
+        # profile outside the 1% rollout would have topics_enabled=False.
+        self.topics_manager = BrowsingTopicsSiteDataManager(
+            selector=selector,
+            allowlist_db=self.allowlist_db,
+            topics_enabled=topics_enabled,
+        )
+        self._api = TopicsApi(self.topics_manager)
+        self._network = NetworkStack(BrowserCache())
+        self._runtime = ScriptRuntime(
+            world, self._api, self._network, script_origin_mode, self.cookie_tracker
+        )
+        self._visit_counter = 0
+        self._failed_attempts: dict[str, int] = {}
+
+    # -- profile management --------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop the object cache (between Before- and After-Accept)."""
+        self._network.cache.clear()
+
+    def refresh_allowlist(self) -> None:
+        """Re-install a healthy allow-list component (browser restart)."""
+        self.allowlist_db.update(self._world.registry.allowlist().serialize())
+
+    # -- navigation -----------------------------------------------------------------
+
+    def visit(self, domain: str, consent_granted: bool | None = None) -> VisitOutcome:
+        """Load ``domain``'s landing page and run everything on it.
+
+        ``consent_granted`` defaults to the consent ledger's state for the
+        site; the crawler passes nothing and manages the ledger instead.
+        """
+        self._visit_counter += 1
+        # Page loads pace the simulated clock; ~1.5 s per visit lands a
+        # 50k-site double crawl in about a day, as in the paper.
+        self.clock.advance(1 + stable_digest("visit", str(self._visit_counter)) % 2)
+
+        site = self._world.resolve(domain)
+        if site is None:
+            return VisitOutcome(
+                requested_domain=domain, ok=False, error=ERROR_UNKNOWN_HOST
+            )
+        if not site.reachable:
+            self._failed_attempts[domain] = self._failed_attempts.get(domain, 0) + 1
+            # Transient timeouts recover on a subsequent attempt.
+            if not (site.transient_failure and self._failed_attempts[domain] >= 2):
+                kind = failure_kind_for(domain, site.transient_failure)
+                return VisitOutcome(
+                    requested_domain=domain, ok=False, error=kind.value
+                )
+
+        if consent_granted is None:
+            consent_granted = self.consent.is_granted(domain)
+
+        final_site = site
+        if site.redirect_to is not None:
+            final_site = self._world.site(site.redirect_to)
+
+        page = final_site.build_page(self._world)
+        log = NetworkLog()
+        call_mark = self.topics_manager.call_count
+        now = self.clock.now()
+        page_domain = final_site.domain
+
+        self._network.fetch(page.url, page_domain, now, log)
+        self.topics_manager.record_page_visit(page_domain, now)
+        root = root_context_for(page.url)
+
+        for resource in page.resources:
+            if resource.gated and not consent_granted:
+                continue
+            self._network.fetch(resource.src, page_domain, now, log)
+
+        for tag in page.scripts:
+            if tag.gated and not consent_granted:
+                continue
+            self._network.fetch(tag.src, page_domain, now, log)
+            self._runtime.execute(tag, root, consent_granted, now, log, page_domain)
+
+        for frame in page.iframes:
+            if frame.gated and not consent_granted:
+                continue
+            self._network.fetch(frame.src, page_domain, now, log)
+            if frame.browsingtopics_attr and self.topics_manager.topics_enabled:
+                child, _ = self._api.iframe_with_topics(root, frame.src, now)
+            else:
+                child = root.open_iframe(frame.src)
+            for inner in frame.scripts:
+                self._network.fetch(inner.src, page_domain, now, log)
+                self._runtime.execute(
+                    inner, child, consent_granted, now, log, page_domain
+                )
+
+        calls = tuple(self.topics_manager.drain_calls_since(call_mark))
+        return VisitOutcome(
+            requested_domain=domain,
+            ok=True,
+            final_domain=final_site.domain,
+            url=str(site.url),
+            final_url=str(page.url),
+            consent_granted=consent_granted,
+            banner=page.banner,
+            loaded_hosts=frozenset(log.hosts()),
+            third_party_domains=frozenset(log.third_party_domains(page_domain)),
+            topics_calls=calls,
+        )

@@ -1,0 +1,36 @@
+"""Per-site consent state, as page machinery perceives it.
+
+A correctly deployed CMP exposes a consent signal that embedded services
+read before processing personal data.  The crawler flips a site's state to
+granted only after Priv-Accept successfully clicks the accept button; the
+script runtime consults this state when deciding whether a compliant
+service may call the Topics API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ConsentLedger:
+    """Which first-party sites the (simulated) user has consented on."""
+
+    _granted: set[str] = field(default_factory=set)
+
+    def grant(self, site_domain: str) -> None:
+        """Record a successful accept-click on a site's banner."""
+        self._granted.add(site_domain)
+
+    def revoke(self, site_domain: str) -> None:
+        self._granted.discard(site_domain)
+
+    def is_granted(self, site_domain: str) -> bool:
+        return site_domain in self._granted
+
+    def clear(self) -> None:
+        """Forget everything — a fresh browser profile."""
+        self._granted.clear()
+
+    def __len__(self) -> int:
+        return len(self._granted)

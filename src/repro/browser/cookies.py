@@ -1,0 +1,131 @@
+"""Cookies: the tracking technology the Topics API is meant to replace.
+
+Paper §3 reads the partial A/B rollouts as live comparisons "with the
+standard third-party cookie solutions", and the whole study is framed by
+Chrome's third-party-cookie phase-out.  This module supplies that
+baseline: a cookie jar with first/third-party semantics, per-service
+tracking identifiers, and the phase-out switch — so experiments can put
+cookie-based and Topics-based tracking side by side on the same crawl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.psl import etld_plus_one
+from repro.util.text import stable_digest
+from repro.util.timeline import Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class Cookie:
+    """One stored cookie."""
+
+    domain: str  # registrable domain the cookie is scoped to
+    name: str
+    value: str
+    created_at: Timestamp
+    third_party: bool  # set from a context whose site differs from the page
+
+
+@dataclass
+class CookieJar:
+    """A browser profile's cookie store.
+
+    ``third_party_cookies_enabled`` is the phase-out switch: with it off
+    (Chrome's announced end state) cross-site ``Set-Cookie`` is dropped
+    and stored third-party cookies are not attached to requests.
+    """
+
+    third_party_cookies_enabled: bool = True
+    _store: dict[tuple[str, str], Cookie] = field(default_factory=dict)
+
+    def set_cookie(
+        self,
+        setting_host: str,
+        page_site: str,
+        name: str,
+        value: str,
+        now: Timestamp,
+    ) -> bool:
+        """Store a cookie set by ``setting_host`` while on ``page_site``.
+
+        Returns False when the write was blocked (third-party cookie with
+        the phase-out active).
+        """
+        domain = etld_plus_one(setting_host)
+        third_party = domain != etld_plus_one(page_site)
+        if third_party and not self.third_party_cookies_enabled:
+            return False
+        self._store[(domain, name)] = Cookie(
+            domain=domain,
+            name=name,
+            value=value,
+            created_at=now,
+            third_party=third_party,
+        )
+        return True
+
+    def get_cookie(
+        self, requesting_host: str, page_site: str, name: str
+    ) -> Cookie | None:
+        """The cookie attached to a request to ``requesting_host`` from a
+        page on ``page_site`` (None when absent or blocked)."""
+        domain = etld_plus_one(requesting_host)
+        cookie = self._store.get((domain, name))
+        if cookie is None:
+            return None
+        cross_site = domain != etld_plus_one(page_site)
+        if cross_site and not self.third_party_cookies_enabled:
+            return None
+        return cookie
+
+    def cookies_for(self, domain: str) -> list[Cookie]:
+        """Every cookie scoped to a registrable domain."""
+        registrable = etld_plus_one(domain)
+        return [c for (d, _), c in self._store.items() if d == registrable]
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Cookie name ad platforms use for their tracking identifier here.
+TRACKING_COOKIE = "uid"
+
+
+class CookieTracker:
+    """The cookie-based tracking flow an ad tag performs.
+
+    On every impression the tag sends its existing identifier (if the jar
+    lets it) or mints one — the classic cross-site tracking loop.  The
+    per-profile identifier is deterministic so experiments reproduce.
+    """
+
+    def __init__(self, jar: CookieJar, profile_seed: int = 0) -> None:
+        self._jar = jar
+        self._profile_seed = profile_seed
+        self.impressions: list[tuple[str, str, bool]] = []  # (cp, site, had_id)
+
+    def track_impression(
+        self, caller_host: str, page_site: str, now: Timestamp
+    ) -> str | None:
+        """One ad impression: returns the identifier the CP received.
+
+        None means the CP got no stable identifier (cookie blocked) — the
+        situation the Topics API is designed to leave advertisers in.
+        """
+        caller = etld_plus_one(caller_host)
+        existing = self._jar.get_cookie(caller_host, page_site, TRACKING_COOKIE)
+        if existing is not None:
+            self.impressions.append((caller, page_site, True))
+            return existing.value
+
+        minted = f"uid-{stable_digest(str(self._profile_seed), caller):016x}"
+        stored = self._jar.set_cookie(
+            caller_host, page_site, TRACKING_COOKIE, minted, now
+        )
+        self.impressions.append((caller, page_site, stored))
+        return minted if stored else None

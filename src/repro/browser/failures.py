@@ -1,0 +1,72 @@
+"""Crawl failure taxonomy and retry accounting.
+
+Paper footnote 7: "The remaining websites fail due to domain name
+resolution or connection-related errors."  This module gives those
+failures the structure a production crawler needs: a stable per-site
+failure kind, a transient subset that a retry recovers, and breakdown
+reporting for the campaign summary.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Iterable
+
+from repro.util.text import stable_digest
+
+
+class FailureKind(enum.Enum):
+    """Why a visit produced no page."""
+
+    DNS_RESOLUTION = "dns-resolution-failed"
+    CONNECTION_REFUSED = "connection-refused"
+    CONNECTION_TIMEOUT = "connection-timeout"
+    TLS_HANDSHAKE = "tls-handshake-failed"
+
+    @property
+    def is_transient(self) -> bool:
+        """Timeouts are the retryable class; the rest are structural."""
+        return self is FailureKind.CONNECTION_TIMEOUT
+
+
+#: Weights of the permanent failure kinds (timeouts are assigned via the
+#: site's transient flag instead).
+_PERMANENT_KINDS: tuple[tuple[FailureKind, int], ...] = (
+    (FailureKind.DNS_RESOLUTION, 60),
+    (FailureKind.CONNECTION_REFUSED, 25),
+    (FailureKind.TLS_HANDSHAKE, 15),
+)
+_PERMANENT_TOTAL = sum(weight for _, weight in _PERMANENT_KINDS)
+
+
+def failure_kind_for(domain: str, transient: bool) -> FailureKind:
+    """Stable failure kind for an unreachable site.
+
+    Transient sites time out (and succeed on a later attempt); permanent
+    ones draw a structural cause from a hashed distribution.
+    """
+    if transient:
+        return FailureKind.CONNECTION_TIMEOUT
+    draw = stable_digest("failure-kind", domain) % _PERMANENT_TOTAL
+    cumulative = 0
+    for kind, weight in _PERMANENT_KINDS:
+        cumulative += weight
+        if draw < cumulative:
+            return kind
+    return FailureKind.DNS_RESOLUTION
+
+
+def breakdown(errors: Iterable[str]) -> dict[str, int]:
+    """Count failure labels (the campaign report's breakdown)."""
+    return dict(Counter(errors))
+
+
+def render_breakdown(counts: dict[str, int]) -> str:
+    """Text rendering of a failure breakdown."""
+    total = sum(counts.values())
+    lines = [f"failures: {total}"]
+    for label, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        share = count / total if total else 0.0
+        lines.append(f"  {label:<26} {count:>6} ({share:.0%})")
+    return "\n".join(lines)

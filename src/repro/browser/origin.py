@@ -1,0 +1,55 @@
+"""Origins and schemeful sites, per the HTML spec's security model.
+
+The paper's §4 anomaly is entirely an *origin* story: a ``<script>`` tag
+placed in a page's HTML executes with the page's origin, no matter where
+the script bytes were downloaded from (Figure 4).  The Topics API
+additionally reasons in *schemeful sites* — scheme plus registrable domain
+— for both the caller and the top-level page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.psl import etld_plus_one
+from repro.util.urls import Url
+
+
+@dataclass(frozen=True, slots=True)
+class Origin:
+    """A (scheme, host, port) web origin."""
+
+    scheme: str
+    host: str
+    port: int
+
+    @classmethod
+    def of(cls, url: Url) -> "Origin":
+        return cls(url.scheme, url.host, url.port)
+
+    @property
+    def site(self) -> str:
+        """The registrable domain (eTLD+1) — the Topics API's caller unit.
+
+        >>> from repro.util.urls import parse_url
+        >>> Origin.of(parse_url("https://static.criteo.com/tag.js")).site
+        'criteo.com'
+        """
+        return etld_plus_one(self.host)
+
+    def schemeful_site(self) -> str:
+        """Scheme + registrable domain, the spec's "schemeful site"."""
+        return f"{self.scheme}://{self.site}"
+
+    def same_origin(self, other: "Origin") -> bool:
+        return self == other
+
+    def same_site(self, other: "Origin") -> bool:
+        """Schemeful same-site comparison."""
+        return self.scheme == other.scheme and self.site == other.site
+
+    def __str__(self) -> str:
+        default = 443 if self.scheme == "https" else 80
+        if self.port == default:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"

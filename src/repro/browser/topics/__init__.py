@@ -1,0 +1,34 @@
+"""The Topics API implementation (paper §2.1 / Figure 1).
+
+Submodules mirror Chromium's decomposition:
+
+* :mod:`repro.browser.topics.types` — topics, epochs, call types, records;
+* :mod:`repro.browser.topics.history` — per-epoch browsing history with
+  caller observed-by bookkeeping;
+* :mod:`repro.browser.topics.selection` — top-5-per-epoch computation, the
+  per-epoch random pick and the 5% plausible-deniability noise;
+* :mod:`repro.browser.topics.manager` — the
+  ``BrowsingTopicsSiteDataManagerImpl`` stand-in: enrolment gating
+  (including the corrupted-database default-allow bug) and the
+  instrumented call log the paper's measurements come from;
+* :mod:`repro.browser.topics.api` — the web-facing surface:
+  ``document.browsingTopics()``, fetch with ``browsingTopics: true`` and
+  the iframe ``browsingtopics`` attribute.
+"""
+
+from repro.browser.topics.api import TopicsApi
+from repro.browser.topics.history import BrowsingHistory
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager, TopicsApiCall
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.browser.topics.types import ApiCallType, EpochTopics, Topic
+
+__all__ = [
+    "ApiCallType",
+    "BrowsingHistory",
+    "BrowsingTopicsSiteDataManager",
+    "EpochTopics",
+    "EpochTopicsSelector",
+    "Topic",
+    "TopicsApi",
+    "TopicsApiCall",
+]

@@ -1,0 +1,104 @@
+"""Sec-Browsing-Topics / Observe-Browsing-Topics header handling.
+
+The fetch and iframe call types move topics in HTTP headers:
+
+* the **request** carries ``Sec-Browsing-Topics`` with the caller's topics
+  serialised as a structured-field list,
+  e.g. ``(1 2);v=chrome.1:1:2, ();p=P000000000``;
+* observation is *opt-in by the server*: only a response carrying
+  ``Observe-Browsing-Topics: ?1`` marks the page visit as observed by the
+  caller.
+
+We implement both directions (format + parse) plus the padding the real
+header applies so its length does not leak the topic count.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.browser.topics.types import Topic
+
+#: Request header name.
+TOPICS_HEADER = "Sec-Browsing-Topics"
+
+#: Response header name enabling observation.
+OBSERVE_HEADER = "Observe-Browsing-Topics"
+
+#: Structured-field boolean "true", as the spec requires.
+OBSERVE_TRUE = "?1"
+
+#: Length the padding parameter aligns the header to.
+_PAD_TARGET = 10
+
+_ENTRY_RE = re.compile(
+    r"^\((?P<ids>[0-9 ]*)\);v=chrome\.1:(?P<taxonomy>[^:]+):(?P<model>.+)$"
+)
+_PADDING_RE = re.compile(r"^\(\);p=P0*$")
+
+
+@dataclass(frozen=True)
+class ParsedTopicsHeader:
+    """The server-side view of a ``Sec-Browsing-Topics`` value."""
+
+    topic_ids: tuple[int, ...]
+    taxonomy_version: str
+    model_version: str
+
+
+def format_topics_header(topics: list[Topic] | tuple[Topic, ...]) -> str:
+    """Serialise topics into the request header value.
+
+    Topics sharing a version pair collapse into one list entry; a padding
+    entry normalises the length so the header does not reveal how many
+    real topics the user exposed.
+    """
+    entries: list[str] = []
+    by_version: dict[tuple[str, str], list[int]] = {}
+    for topic in topics:
+        key = (topic.taxonomy_version, topic.model_version)
+        by_version.setdefault(key, []).append(topic.topic_id)
+    for (taxonomy, model), ids in by_version.items():
+        id_text = " ".join(str(i) for i in sorted(ids))
+        entries.append(f"({id_text});v=chrome.1:{taxonomy}:{model}")
+    serialized = ", ".join(entries)
+    pad = max(0, _PAD_TARGET - len(serialized))
+    padding = "();p=P" + "0" * pad
+    return f"{serialized}, {padding}" if serialized else padding
+
+
+def parse_topics_header(value: str) -> list[ParsedTopicsHeader]:
+    """Parse a request header value back into topic groups.
+
+    Padding entries are dropped; malformed entries raise ``ValueError``
+    (a server must not act on a mangled header).
+    """
+    groups: list[ParsedTopicsHeader] = []
+    for raw_entry in value.split(","):
+        entry = raw_entry.strip()
+        if not entry:
+            continue
+        if _PADDING_RE.match(entry):
+            continue
+        match = _ENTRY_RE.match(entry)
+        if match is None:
+            raise ValueError(f"malformed Sec-Browsing-Topics entry: {entry!r}")
+        ids = tuple(int(t) for t in match.group("ids").split())
+        groups.append(
+            ParsedTopicsHeader(
+                topic_ids=ids,
+                taxonomy_version=match.group("taxonomy"),
+                model_version=match.group("model"),
+            )
+        )
+    return groups
+
+
+def observe_requested(header_value: str | None) -> bool:
+    """Does a response's ``Observe-Browsing-Topics`` value opt in?
+
+    Only the structured-field true ``?1`` counts, per spec; absence or any
+    other value leaves the visit unobserved.
+    """
+    return header_value is not None and header_value.strip() == OBSERVE_TRUE

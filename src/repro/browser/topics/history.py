@@ -1,0 +1,93 @@
+"""Per-epoch browsing history with observed-by bookkeeping.
+
+The Topics API computes each epoch's top topics from the sites the user
+visited *where the API was used*, and only returns a topic to a caller
+that itself observed the user on a site contributing that topic — the
+"observed-by" requirement.  The history therefore records, per epoch, the
+visited sites and the set of callers that witnessed each visit.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.util.timeline import Timestamp, epoch_index
+
+
+@dataclass
+class _EpochRecord:
+    visit_counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    observers: dict[str, set[str]] = field(default_factory=lambda: defaultdict(set))
+
+
+class BrowsingHistory:
+    """Everything the Topics machinery remembers about past browsing."""
+
+    def __init__(self) -> None:
+        self._epochs: dict[int, _EpochRecord] = defaultdict(_EpochRecord)
+
+    def record_page_visit(self, site: str, at: Timestamp) -> None:
+        """Record a top-level navigation to ``site``.
+
+        Visits alone make a site *countable*; a site only becomes
+        *usable* in an epoch's topic computation once some caller
+        observes it there (:meth:`record_observation`).
+        """
+        self._epochs[epoch_index(at)].visit_counts[site] += 1
+
+    def record_observation(self, site: str, caller: str, at: Timestamp) -> None:
+        """Record that ``caller`` used the Topics API on ``site`` at ``at``."""
+        epoch = epoch_index(at)
+        record = self._epochs[epoch]
+        record.visit_counts[site] += 0  # ensure the site exists in the epoch
+        record.observers[site].add(caller)
+
+    # -- queries ---------------------------------------------------------------
+
+    def epochs(self) -> list[int]:
+        """All epochs with any recorded activity, ascending."""
+        return sorted(self._epochs)
+
+    def eligible_sites(self, epoch: int) -> list[str]:
+        """Sites usable for the epoch's topic computation: observed ones."""
+        record = self._epochs.get(epoch)
+        if record is None:
+            return []
+        return sorted(site for site, seen in record.observers.items() if seen)
+
+    def visit_count(self, epoch: int, site: str) -> int:
+        record = self._epochs.get(epoch)
+        if record is None:
+            return 0
+        return record.visit_counts.get(site, 0)
+
+    def observers_of(self, epoch: int, site: str) -> frozenset[str]:
+        """Callers that observed the user on ``site`` during ``epoch``."""
+        record = self._epochs.get(epoch)
+        if record is None:
+            return frozenset()
+        return frozenset(record.observers.get(site, ()))
+
+    def caller_active(self, epoch: int, caller: str) -> bool:
+        """Did ``caller`` observe the user anywhere during ``epoch``?"""
+        record = self._epochs.get(epoch)
+        if record is None:
+            return False
+        return any(caller in seen for seen in record.observers.values())
+
+    def caller_observed_any(self, epoch: int, caller: str, sites: list[str]) -> bool:
+        """Did ``caller`` observe the user on any of ``sites`` in ``epoch``?"""
+        record = self._epochs.get(epoch)
+        if record is None:
+            return False
+        return any(caller in record.observers.get(site, ()) for site in sites)
+
+    def prune_before(self, epoch: int) -> None:
+        """Drop epochs older than ``epoch`` (Chrome retains 4)."""
+        for old in [e for e in self._epochs if e < epoch]:
+            del self._epochs[old]
+
+    def clear(self) -> None:
+        """A fresh profile."""
+        self._epochs.clear()

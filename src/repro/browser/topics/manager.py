@@ -1,0 +1,147 @@
+"""The ``BrowsingTopicsSiteDataManagerImpl`` stand-in.
+
+This is the chokepoint every Topics API invocation flows through, and the
+exact class the paper's authors modified in Chromium to log calls.  Our
+manager does the same three jobs:
+
+1. **gate** the call against the enrolment allow-list — including the
+   default-allow-when-corrupt bug the paper exploits (§2.3);
+2. **record** the observation (caller saw user on site) and produce the
+   per-caller topics answer;
+3. **log** every call for the instrumentation: caller, site, timestamp,
+   call type, gating outcome — including repeated calls from the same
+   caller on the same page, as the paper's modified handler does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attestation.allowlist import AllowListDatabase, GatingDecision
+from repro.browser.topics.history import BrowsingHistory
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.browser.topics.types import ApiCallType, Topic
+from repro.util.psl import etld_plus_one
+from repro.util.timeline import Timestamp, epoch_index
+
+
+@dataclass(frozen=True, slots=True)
+class TopicsApiCall:
+    """One logged Topics API invocation — the paper's unit of measurement."""
+
+    caller: str  # registrable domain of the calling party (the CP)
+    caller_host: str  # concrete host of the calling context / destination
+    site: str  # registrable domain of the visited (top-frame) website
+    call_type: ApiCallType
+    at: Timestamp
+    decision: GatingDecision
+    topics_returned: int
+
+    @property
+    def allowed(self) -> bool:
+        return self.decision.allowed
+
+
+class TopicsApiDisabledError(RuntimeError):
+    """``document.browsingTopics()`` rejects when the user has not opted in.
+
+    The paper's crawler "manually opt[s] in for the usage of the Topics
+    API" (§2.2); Chrome exposed the API to 1% of users plus opt-ins, and
+    for everyone else the promise rejects.
+    """
+
+
+class BrowsingTopicsSiteDataManager:
+    """Gating + observation + instrumented call log."""
+
+    def __init__(
+        self,
+        selector: EpochTopicsSelector,
+        allowlist_db: AllowListDatabase,
+        history: BrowsingHistory | None = None,
+        topics_enabled: bool = True,
+    ) -> None:
+        self._selector = selector
+        self._allowlist_db = allowlist_db
+        self.history = history if history is not None else BrowsingHistory()
+        self.topics_enabled = topics_enabled
+        self._call_log: list[TopicsApiCall] = []
+
+    @property
+    def allowlist_db(self) -> AllowListDatabase:
+        return self._allowlist_db
+
+    @property
+    def call_log(self) -> tuple[TopicsApiCall, ...]:
+        """Every call observed so far, in order."""
+        return tuple(self._call_log)
+
+    def drain_calls_since(self, index: int) -> list[TopicsApiCall]:
+        """Calls logged at or after ``index`` (for per-visit slicing)."""
+        return self._call_log[index:]
+
+    @property
+    def call_count(self) -> int:
+        return len(self._call_log)
+
+    def handle_topics_call(
+        self,
+        caller_host: str,
+        top_frame_site: str,
+        call_type: ApiCallType,
+        now: Timestamp,
+        observe: bool = True,
+    ) -> list[Topic]:
+        """The single entry point for every API surface.
+
+        Returns the topics handed to the caller (empty when blocked or when
+        the caller has no observable history).  ``observe=False`` models
+        ``browsingTopics({skipObservation: true})``.
+        """
+        if not self.topics_enabled:
+            raise TopicsApiDisabledError(
+                "the Topics API is not enabled for this user profile"
+            )
+        caller = etld_plus_one(caller_host)
+        decision = self._allowlist_db.check_caller(caller_host)
+
+        topics: list[Topic] = []
+        if decision.allowed:
+            current_epoch = epoch_index(now)
+            if observe:
+                self.history.record_observation(top_frame_site, caller, now)
+                # Live epoch digests are recomputed as observations land.
+                self._selector.invalidate_epoch(current_epoch)
+            topics = self._selector.topics_for_caller(
+                self.history, caller, current_epoch
+            )
+
+        self._call_log.append(
+            TopicsApiCall(
+                caller=caller,
+                caller_host=caller_host,
+                site=top_frame_site,
+                call_type=call_type,
+                at=now,
+                decision=decision,
+                topics_returned=len(topics),
+            )
+        )
+        return topics
+
+    def record_caller_observation(
+        self, caller_host: str, top_frame_site: str, now: Timestamp
+    ) -> None:
+        """Record an observation outside a call — the path a server's
+        ``Observe-Browsing-Topics: ?1`` response header takes."""
+        caller = etld_plus_one(caller_host)
+        self.history.record_observation(top_frame_site, caller, now)
+        self._selector.invalidate_epoch(epoch_index(now))
+
+    def record_page_visit(self, site: str, now: Timestamp) -> None:
+        """Top-level navigation bookkeeping (countable history)."""
+        self.history.record_page_visit(site, now)
+
+    def reset_log(self) -> None:
+        """Clear the instrumentation log (not the browsing history)."""
+        self._call_log.clear()

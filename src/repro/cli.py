@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the measurement workflow:
+
+* ``study``   — the full paper: world → crawl → every table and figure;
+* ``crawl``   — run a campaign and archive the datasets (JSONL);
+* ``analyze`` — regenerate the tables/figures from an archived campaign;
+* ``audit-cmp`` — the §5 CMP compliance audit;
+* ``reident`` — the re-identification risk study;
+* ``monitor`` — longitudinal monthly snapshots;
+* ``probe``   — fetch and validate one domain's attestation file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import report as reports
+from repro.analysis.classify import build_table1
+from repro.analysis.cmp_analysis import average_questionable_rate, figure7
+from repro.analysis.export import export_study
+from repro.analysis.questionable import figure5
+from repro.crawler.archive import load_crawl, save_crawl
+from repro.crawler.campaign import CrawlCampaign
+from repro.crawler.parallel import ShardedCrawl
+from repro.crawler.wellknown import probe_domain
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper import render_comparisons
+from repro.experiments.runner import run_full_study
+from repro.longitudinal.monitor import LongitudinalMonitor, render_trend
+from repro.privacy.experiment import (
+    ReidentificationConfig,
+    render_sweep,
+    sweep_epochs,
+    sweep_noise,
+)
+from repro.util.timeline import timestamp_from_date
+from repro.web.config import WorldConfig
+from repro.web.generator import WebGenerator
+from repro.web.vantage import vantage_by_name
+
+
+def _world_config(args: argparse.Namespace) -> WorldConfig:
+    if args.sites >= 50_000:
+        config = WorldConfig(seed=args.seed)
+    else:
+        config = WorldConfig.small(args.sites, seed=args.seed)
+    config.vantage = vantage_by_name(getattr(args, "vantage", "eu"))
+    return config
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis.dataset_stats import render_stats
+
+    config = ExperimentConfig(world=_world_config(args))
+    result = run_full_study(config)
+    sections = [
+        render_stats(result.stats),
+        reports.render_table1(result.table1),
+        reports.render_figure2(result.fig2),
+        reports.render_figure3(result.fig3),
+        reports.render_figure5(result.fig5),
+        reports.render_figure6(result.fig6),
+        reports.render_figure7(result.fig7),
+        reports.render_anomalous(result.anomalous),
+        reports.render_enrollment(result.enrollment),
+        "Paper vs measured:\n" + render_comparisons(result.comparisons()),
+    ]
+    print("\n\n".join(sections))
+    if args.out:
+        paths = export_study(result, args.out)
+        save_crawl(result.crawl, args.out)
+        print(f"\nWrote {len(paths)} CSV artefacts and the datasets to {args.out}/")
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    world = WebGenerator(_world_config(args)).generate()
+    if args.shards > 1:
+        result = ShardedCrawl(
+            world,
+            shard_count=args.shards,
+            corrupt_allowlist=not args.healthy_allowlist,
+        ).run()
+    else:
+        result = CrawlCampaign(
+            world,
+            corrupt_allowlist=not args.healthy_allowlist,
+            limit=args.limit,
+        ).run()
+    report = result.report
+    print(
+        f"visited {report.ok:,}/{report.targets:,} sites, "
+        f"{report.accepted:,} After-Accept ({report.accept_rate:.1%})"
+    )
+    save_crawl(result, args.out)
+    print(f"archived campaign under {args.out}/")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    crawl = load_crawl(args.data)
+    table = build_table1(crawl.d_ba, crawl.d_aa, crawl.allowed_domains, crawl.survey)
+    print(reports.render_table1(table))
+    print()
+    print(
+        reports.render_figure5(
+            figure5(crawl.d_ba, crawl.allowed_domains, crawl.survey)
+        )
+    )
+    return 0
+
+
+def _cmd_audit_cmp(args: argparse.Namespace) -> int:
+    world = WebGenerator(_world_config(args)).generate()
+    crawl = CrawlCampaign(world, corrupt_allowlist=True).run()
+    rows = figure7(crawl.d_ba, crawl.allowed_domains, crawl.survey, world.cmps)
+    baseline = average_questionable_rate(rows)
+    print(reports.render_figure7(rows))
+    flagged = [
+        row.name
+        for row in rows
+        if row.sites_total > 0 and row.p_questionable_given_cmp > 1.5 * baseline
+    ]
+    print(f"\nflagged CMPs (>1.5x baseline): {', '.join(flagged) or 'none'}")
+    return 0
+
+
+def _cmd_reident(args: argparse.Namespace) -> int:
+    base = ReidentificationConfig(
+        population_size=args.population,
+        observation_epochs=args.epochs,
+        noise_probability=args.noise,
+        seed=args.seed,
+    )
+    print("Re-identification risk vs observation epochs:")
+    print(render_sweep(sweep_epochs(base), "epochs"))
+    print("\nRe-identification risk vs noise rate:")
+    print(render_sweep(sweep_noise(base), "noise"))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    world = WebGenerator(_world_config(args)).generate()
+    dates = []
+    for token in args.dates.split(","):
+        year, month, day = (int(part) for part in token.strip().split("-"))
+        dates.append(timestamp_from_date(year, month, day))
+    monitor = LongitudinalMonitor(world, limit=args.limit)
+    print(render_trend(monitor.run(dates)))
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments.robustness import render_robustness, run_seed_grid
+
+    seeds = [int(token) for token in args.seeds.split(",")]
+    _, summaries = run_seed_grid(args.sites, seeds)
+    print(render_robustness(summaries, seeds))
+    out_of_band = [
+        s.description for s in summaries if s.scale_free and not s.all_within_band
+    ]
+    if out_of_band:
+        print(f"\nOUT OF BAND: {', '.join(out_of_band)}")
+        return 1
+    print("\nAll scale-free quantities within their paper bands on every seed.")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.compare_campaigns import diff_campaigns, render_diff
+
+    before = load_crawl(args.before)
+    after = load_crawl(args.after)
+    print(render_diff(diff_campaigns(before, after)))
+    return 0
+
+
+def _cmd_targeting(args: argparse.Namespace) -> int:
+    from repro.adserver import TargetingStudy, render_targeting
+
+    study = TargetingStudy(
+        population_size=args.population, epochs=args.epochs, seed=args.seed
+    )
+    print(render_targeting(study.run()))
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    world = WebGenerator(_world_config(args)).generate()
+    probe = probe_domain(world, args.domain, now=0)
+    print(f"domain:            {probe.domain}")
+    print(f"serves a file:     {probe.served}")
+    print(f"valid attestation: {probe.valid}")
+    if probe.issued:
+        print(f"issued:            {probe.issued}")
+    print(f"Allowed:           {world.registry.is_allowed(args.domain)}")
+    return 0 if probe.attested else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A First View of Topics API Usage in the Wild'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p: argparse.ArgumentParser, default_sites: int) -> None:
+        p.add_argument("--sites", type=int, default=default_sites)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--vantage",
+            choices=("eu", "us", "other"),
+            default="eu",
+            help="crawl location (the paper uses an EU vantage)",
+        )
+
+    study = sub.add_parser("study", help="run the full reproduction")
+    add_world_args(study, 50_000)
+    study.add_argument("--out", help="export CSVs and datasets to this directory")
+    study.set_defaults(func=_cmd_study)
+
+    crawl = sub.add_parser("crawl", help="run and archive a campaign")
+    add_world_args(crawl, 10_000)
+    crawl.add_argument("--out", required=True)
+    crawl.add_argument("--shards", type=int, default=1)
+    crawl.add_argument("--limit", type=int, default=None)
+    crawl.add_argument(
+        "--healthy-allowlist",
+        action="store_true",
+        help="keep the enrolment allow-list intact (anomalous calls blocked)",
+    )
+    crawl.set_defaults(func=_cmd_crawl)
+
+    analyze = sub.add_parser("analyze", help="analyse an archived campaign")
+    analyze.add_argument("--data", required=True)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    audit = sub.add_parser("audit-cmp", help="the §5 CMP compliance audit")
+    add_world_args(audit, 10_000)
+    audit.set_defaults(func=_cmd_audit_cmp)
+
+    reident = sub.add_parser("reident", help="re-identification risk study")
+    reident.add_argument("--population", type=int, default=60)
+    reident.add_argument("--epochs", type=int, default=4)
+    reident.add_argument("--noise", type=float, default=0.05)
+    reident.add_argument("--seed", type=int, default=7)
+    reident.set_defaults(func=_cmd_reident)
+
+    monitor = sub.add_parser("monitor", help="longitudinal monthly snapshots")
+    add_world_args(monitor, 5_000)
+    monitor.add_argument(
+        "--dates",
+        default="2023-09-01,2023-12-01,2024-03-30,2024-09-01",
+        help="comma-separated ISO dates",
+    )
+    monitor.add_argument("--limit", type=int, default=None)
+    monitor.set_defaults(func=_cmd_monitor)
+
+    robustness = sub.add_parser(
+        "robustness", help="seed-grid check of the paper bands"
+    )
+    robustness.add_argument("--sites", type=int, default=6_000)
+    robustness.add_argument("--seeds", default="1,7,23")
+    robustness.set_defaults(func=_cmd_robustness)
+
+    diff = sub.add_parser("diff", help="diff two archived campaigns")
+    diff.add_argument("--before", required=True)
+    diff.add_argument("--after", required=True)
+    diff.set_defaults(func=_cmd_diff)
+
+    targeting = sub.add_parser(
+        "targeting", help="targeting quality: cookies vs Topics vs nothing"
+    )
+    targeting.add_argument("--population", type=int, default=80)
+    targeting.add_argument("--epochs", type=int, default=4)
+    targeting.add_argument("--seed", type=int, default=5)
+    targeting.set_defaults(func=_cmd_targeting)
+
+    probe = sub.add_parser("probe", help="probe one domain's attestation file")
+    add_world_args(probe, 2_000)
+    probe.add_argument("domain")
+    probe.set_defaults(func=_cmd_probe)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Campaign archives: save/load a full crawl to a directory.
+
+The paper releases its crawl as a dataset; this module defines the same
+artefact for our campaigns — the two JSONL datasets, the attestation
+survey, the allow-list snapshot and the campaign report — so analyses can
+run long after (and far away from) the crawl itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.crawler.campaign import CrawlReport, CrawlResult
+from repro.crawler.dataset import Dataset
+from repro.crawler.wellknown import AttestationSurvey
+
+_D_BA_FILE = "d_ba.jsonl"
+_D_AA_FILE = "d_aa.jsonl"
+_SURVEY_FILE = "attestation_survey.jsonl"
+_ALLOWED_FILE = "allowed_domains.txt"
+_REPORT_FILE = "report.json"
+
+
+def save_crawl(result: CrawlResult, directory: str | Path) -> Path:
+    """Write every campaign artefact under ``directory``; returns it."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    result.d_ba.to_jsonl(target / _D_BA_FILE)
+    result.d_aa.to_jsonl(target / _D_AA_FILE)
+    result.survey.to_jsonl(target / _SURVEY_FILE)
+    (target / _ALLOWED_FILE).write_text(
+        "\n".join(sorted(result.allowed_domains)) + "\n", encoding="utf-8"
+    )
+    (target / _REPORT_FILE).write_text(
+        json.dumps(dataclasses.asdict(result.report), indent=2), encoding="utf-8"
+    )
+    return target
+
+
+def load_crawl(directory: str | Path) -> CrawlResult:
+    """Load a campaign previously written by :func:`save_crawl`."""
+    source = Path(directory)
+    missing = [
+        name
+        for name in (_D_BA_FILE, _D_AA_FILE, _SURVEY_FILE, _ALLOWED_FILE, _REPORT_FILE)
+        if not (source / name).exists()
+    ]
+    if missing:
+        raise FileNotFoundError(f"{source}: missing campaign files {missing}")
+
+    allowed = frozenset(
+        line.strip()
+        for line in (source / _ALLOWED_FILE).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    )
+    report = CrawlReport(
+        **json.loads((source / _REPORT_FILE).read_text(encoding="utf-8"))
+    )
+    return CrawlResult(
+        d_ba=Dataset.from_jsonl("D_BA", source / _D_BA_FILE),
+        d_aa=Dataset.from_jsonl("D_AA", source / _D_AA_FILE),
+        report=report,
+        allowed_domains=allowed,
+        survey=AttestationSurvey.from_jsonl(source / _SURVEY_FILE),
+    )

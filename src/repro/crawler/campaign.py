@@ -1,0 +1,205 @@
+"""The crawl campaign: the paper's full measurement protocol.
+
+For every domain in the ranking:
+
+1. visit it without any consent (**Before-Accept**) and record objects +
+   Topics calls into ``D_BA``;
+2. run Priv-Accept on the rendered banner; on success, grant consent,
+   delete the browser cache, and visit again (**After-Accept**) into
+   ``D_AA``;
+3. failed visits (DNS/connection errors) are counted but produce no
+   record, exactly as the paper's 50,000 → 43,405 reduction.
+
+The campaign also snapshots the enrolment allow-list (before corrupting
+the browser's copy) and surveys the attestation files of every encountered
+party — the inputs of Table 1's Allowed/Attested classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.browser.browser import Browser, VisitOutcome
+from repro.browser.script import ScriptOriginMode
+from repro.crawler.dataset import (
+    CallRecord,
+    Dataset,
+    PHASE_AFTER,
+    PHASE_BEFORE,
+    VisitRecord,
+)
+from repro.crawler.privaccept import BannerDetection, PrivAccept
+from repro.crawler.wellknown import AttestationSurvey, survey_attestations
+from repro.util.timeline import SimClock
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+
+@dataclass
+class CrawlReport:
+    """Campaign-level counters (paper §2.4's "initial findings" inputs)."""
+
+    targets: int = 0
+    ok: int = 0
+    failed: int = 0
+    banners_seen: int = 0
+    accepted: int = 0
+    started_at: int = 0
+    finished_at: int = 0
+    #: failure label → count (footnote 7's DNS/connection breakdown).
+    failure_kinds: dict = field(default_factory=dict)
+    #: retry accounting (the paper ran without retries).
+    retried: int = 0
+    recovered: int = 0
+
+    @property
+    def accept_rate(self) -> float:
+        """Share of successfully visited sites that reached After-Accept."""
+        return self.accepted / self.ok if self.ok else 0.0
+
+    @property
+    def duration_seconds(self) -> int:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class CrawlResult:
+    """Everything one campaign produces."""
+
+    d_ba: Dataset
+    d_aa: Dataset
+    report: CrawlReport
+    allowed_domains: frozenset[str]
+    survey: AttestationSurvey
+
+
+class CrawlCampaign:
+    """Drives a :class:`Browser` over a world's Tranco ranking."""
+
+    def __init__(
+        self,
+        world: "SyntheticWeb",
+        corrupt_allowlist: bool = True,
+        user_seed: int = 0,
+        limit: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        script_origin_mode: ScriptOriginMode = ScriptOriginMode.EMBEDDER,
+        retries: int = 0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self._world = world
+        self._corrupt_allowlist = corrupt_allowlist
+        self._user_seed = user_seed
+        self._limit = limit
+        self._progress = progress
+        self._script_origin_mode = script_origin_mode
+        self._retries = retries
+        self._privaccept = PrivAccept()
+
+    def run(self) -> CrawlResult:
+        """Execute the full Before/After protocol."""
+        world = self._world
+        clock = SimClock()
+        # Snapshot the healthy allow-list before (optionally) corrupting the
+        # browser's database — the paper keeps the June 6 file for analysis.
+        allowed = frozenset(world.registry.allowed_domains())
+
+        browser = Browser(
+            world,
+            clock=clock,
+            corrupt_allowlist=self._corrupt_allowlist,
+            user_seed=self._user_seed,
+            script_origin_mode=self._script_origin_mode,
+        )
+
+        d_ba = Dataset("D_BA")
+        d_aa = Dataset("D_AA")
+        report = CrawlReport(started_at=clock.now())
+
+        targets = list(world.tranco)
+        if self._limit is not None:
+            targets = targets[: self._limit]
+        report.targets = len(targets)
+
+        for position, (rank, domain) in enumerate(targets, start=1):
+            if self._progress is not None and position % 1000 == 0:
+                self._progress(position, len(targets))
+
+            before = browser.visit(domain)
+            for _ in range(self._retries):
+                if before.ok:
+                    break
+                report.retried += 1
+                before = browser.visit(domain)
+                if before.ok:
+                    report.recovered += 1
+            if not before.ok:
+                report.failed += 1
+                report.failure_kinds[before.error] = (
+                    report.failure_kinds.get(before.error, 0) + 1
+                )
+                continue
+            report.ok += 1
+
+            detection = self._privaccept.detect_and_accept(before.banner)
+            if detection.banner_found:
+                report.banners_seen += 1
+            d_ba.add(self._record(rank, before, PHASE_BEFORE, detection, world))
+
+            if not detection.accept_clicked:
+                # No After-Accept visit when consent could not be granted
+                # (no banner, unsupported language, or keyword miss).
+                continue
+            report.accepted += 1
+            browser.consent.grant(domain)
+            browser.clear_cache()
+            after = browser.visit(domain)
+            if after.ok:
+                d_aa.add(self._record(rank, after, PHASE_AFTER, detection, world))
+
+        report.finished_at = clock.now()
+
+        encountered = d_ba.unique_third_parties() | d_aa.unique_third_parties()
+        encountered.update(record.domain for record in d_ba)
+        encountered.update(record.final_domain for record in d_ba)
+        encountered.update(allowed)
+        survey = survey_attestations(world, encountered, clock.now())
+
+        return CrawlResult(
+            d_ba=d_ba,
+            d_aa=d_aa,
+            report=report,
+            allowed_domains=allowed,
+            survey=survey,
+        )
+
+    def _record(
+        self,
+        rank: int,
+        outcome: VisitOutcome,
+        phase: str,
+        detection: BannerDetection,
+        world: "SyntheticWeb",
+    ) -> VisitRecord:
+        cmp_name = world.cmps.detect_from_domains(outcome.loaded_hosts)
+        return VisitRecord(
+            rank=rank,
+            domain=outcome.requested_domain,
+            final_domain=outcome.final_domain,
+            url=outcome.url,
+            final_url=outcome.final_url,
+            phase=phase,
+            banner_present=detection.banner_found,
+            banner_language=(
+                outcome.banner.language if outcome.banner is not None else None
+            ),
+            accept_clicked=detection.accept_clicked,
+            cmp=cmp_name,
+            third_parties=tuple(sorted(outcome.third_party_domains)),
+            calls=tuple(
+                CallRecord.from_api_call(call) for call in outcome.topics_calls
+            ),
+        )

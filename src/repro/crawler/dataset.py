@@ -1,0 +1,183 @@
+"""Crawl datasets: visit records, call records, JSONL persistence.
+
+``D_BA`` holds one record per successful Before-Accept visit; ``D_AA`` one
+per After-Accept visit (only sites whose banner Priv-Accept accepted).
+Records carry everything the analysis needs — embedded third parties, the
+detected CMP, and every Topics API call with its type and gating outcome —
+and round-trip losslessly through JSONL so campaigns can be archived and
+re-analysed, as the paper's released dataset is.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.attestation.allowlist import GatingDecision
+from repro.browser.topics.manager import TopicsApiCall
+from repro.browser.topics.types import ApiCallType
+from repro.util.timeline import Timestamp
+
+#: Visit-phase labels, matching the paper's dataset names.
+PHASE_BEFORE = "before-accept"
+PHASE_AFTER = "after-accept"
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One Topics API call as the dataset stores it."""
+
+    caller: str
+    caller_host: str
+    site: str
+    call_type: str
+    at: Timestamp
+    decision: str
+    topics_returned: int
+
+    @classmethod
+    def from_api_call(cls, call: TopicsApiCall) -> "CallRecord":
+        return cls(
+            caller=call.caller,
+            caller_host=call.caller_host,
+            site=call.site,
+            call_type=call.call_type.value,
+            at=call.at,
+            decision=call.decision.value,
+            topics_returned=call.topics_returned,
+        )
+
+    @property
+    def allowed(self) -> bool:
+        return GatingDecision(self.decision).allowed
+
+    @property
+    def api_call_type(self) -> ApiCallType:
+        return ApiCallType(self.call_type)
+
+
+@dataclass(frozen=True)
+class VisitRecord:
+    """One successful visit (one row of D_BA or D_AA)."""
+
+    rank: int
+    domain: str
+    final_domain: str
+    url: str
+    final_url: str
+    phase: str
+    banner_present: bool
+    banner_language: str | None
+    accept_clicked: bool
+    cmp: str | None
+    third_parties: tuple[str, ...]
+    calls: tuple[CallRecord, ...]
+
+    @property
+    def redirected(self) -> bool:
+        return self.final_domain != self.domain
+
+    @property
+    def has_topics_call(self) -> bool:
+        return bool(self.calls)
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["third_parties"] = list(self.third_parties)
+        payload["calls"] = [asdict(call) for call in self.calls]
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "VisitRecord":
+        payload = json.loads(line)
+        payload["third_parties"] = tuple(payload["third_parties"])
+        payload["calls"] = tuple(
+            CallRecord(**call) for call in payload["calls"]
+        )
+        return cls(**payload)
+
+
+class Dataset:
+    """An append-only collection of visit records with common queries."""
+
+    def __init__(self, name: str, records: Iterable[VisitRecord] = ()) -> None:
+        self.name = name
+        self._records: list[VisitRecord] = list(records)
+        self._by_domain: dict[str, VisitRecord] | None = None
+
+    def add(self, record: VisitRecord) -> None:
+        self._records.append(record)
+        self._by_domain = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[VisitRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[VisitRecord, ...]:
+        return tuple(self._records)
+
+    def by_domain(self, domain: str) -> VisitRecord | None:
+        if self._by_domain is None:
+            self._by_domain = {record.domain: record for record in self._records}
+        return self._by_domain.get(domain)
+
+    # -- common aggregates ---------------------------------------------------------
+
+    def site_count(self) -> int:
+        return len(self._records)
+
+    def unique_third_parties(self) -> set[str]:
+        """Distinct third-party registrable domains observed."""
+        parties: set[str] = set()
+        for record in self._records:
+            parties.update(record.third_parties)
+        return parties
+
+    def iter_calls(self) -> Iterator[tuple[VisitRecord, CallRecord]]:
+        for record in self._records:
+            for call in record.calls:
+                yield record, call
+
+    def calling_parties(self) -> set[str]:
+        """Distinct CPs (caller registrable domains) across all calls."""
+        return {call.caller for _, call in self.iter_calls()}
+
+    def sites_with_calls(self) -> set[str]:
+        return {record.domain for record in self._records if record.calls}
+
+    def presence_of(self, party: str) -> set[str]:
+        """Sites on which ``party`` appears among loaded third parties."""
+        return {
+            record.domain
+            for record in self._records
+            if party in record.third_parties
+        }
+
+    def callers_by_site_count(self) -> dict[str, int]:
+        """CP → number of distinct sites where it called."""
+        sites: dict[str, set[str]] = {}
+        for record, call in self.iter_calls():
+            sites.setdefault(call.caller, set()).add(record.domain)
+        return {caller: len(site_set) for caller, site_set in sites.items()}
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> None:
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(record.to_json())
+                handle.write("\n")
+
+    @classmethod
+    def from_jsonl(cls, name: str, path: str | Path) -> "Dataset":
+        records = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    records.append(VisitRecord.from_json(line))
+        return cls(name, records)

@@ -1,0 +1,149 @@
+"""Sharded crawling: the 50k-site campaign split across browser instances.
+
+Real measurement campaigns parallelise exactly this way — the ranking is
+partitioned, each worker drives its own browser profile, and the shards'
+records are merged afterwards.  Shards here are *fully deterministic and
+order-independent*: every shard gets its own browser (history, cache,
+consent ledger, clock) and its own user seed, so the merged datasets are
+identical no matter how the executor schedules the work — which the tests
+pin by comparing against the sequential campaign shard-by-shard.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crawler.campaign import CrawlCampaign, CrawlReport, CrawlResult
+from repro.crawler.dataset import Dataset
+from repro.crawler.wellknown import survey_attestations
+from repro.util.timeline import SimClock
+from repro.web.tranco import TrancoList
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's slice of the ranking."""
+
+    shard_index: int
+    domains: tuple[str, ...]
+    rank_offset: int  # rank of the first domain, minus one
+
+
+def plan_shards(tranco: TrancoList, shard_count: int) -> list[ShardPlan]:
+    """Partition the ranking into contiguous slices.
+
+    Contiguity keeps each worker's page-popularity profile realistic and
+    makes rank bookkeeping trivial.
+    """
+    if shard_count <= 0:
+        raise ValueError("shard_count must be positive")
+    domains = tranco.domains
+    base, remainder = divmod(len(domains), shard_count)
+    plans: list[ShardPlan] = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < remainder else 0)
+        plans.append(
+            ShardPlan(
+                shard_index=index,
+                domains=domains[start : start + size],
+                rank_offset=start,
+            )
+        )
+        start += size
+    return [plan for plan in plans if plan.domains]
+
+
+class ShardedCrawl:
+    """Run a campaign as N independent shards and merge the results."""
+
+    def __init__(
+        self,
+        world: "SyntheticWeb",
+        shard_count: int = 4,
+        corrupt_allowlist: bool = True,
+        max_workers: int | None = None,
+    ) -> None:
+        self._world = world
+        self._shard_count = shard_count
+        self._corrupt_allowlist = corrupt_allowlist
+        self._max_workers = max_workers or shard_count
+
+    def run(self) -> CrawlResult:
+        plans = plan_shards(self._world.tranco, self._shard_count)
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            shard_results = list(pool.map(self._run_shard, plans))
+        return self._merge(plans, shard_results)
+
+    def _run_shard(self, plan: ShardPlan) -> CrawlResult:
+        # A private ranking restores the shard's global ranks via the
+        # campaign's enumerate; we rebase rank numbers during the merge.
+        shard_world = _ShardView(self._world, TrancoList(plan.domains))
+        campaign = CrawlCampaign(
+            shard_world,  # type: ignore[arg-type]  # structural stand-in
+            corrupt_allowlist=self._corrupt_allowlist,
+            user_seed=plan.shard_index,
+        )
+        return campaign.run()
+
+    def _merge(
+        self, plans: list[ShardPlan], results: list[CrawlResult]
+    ) -> CrawlResult:
+        merged_ba = Dataset("D_BA")
+        merged_aa = Dataset("D_AA")
+        report = CrawlReport()
+        clock = SimClock()
+
+        for plan, result in zip(plans, results):
+            for record in result.d_ba:
+                merged_ba.add(_rebase_rank(record, plan.rank_offset))
+            for record in result.d_aa:
+                merged_aa.add(_rebase_rank(record, plan.rank_offset))
+            report.targets += result.report.targets
+            report.ok += result.report.ok
+            report.failed += result.report.failed
+            report.banners_seen += result.report.banners_seen
+            report.accepted += result.report.accepted
+            # Wall-clock of a parallel campaign is the slowest shard.
+            report.finished_at = max(
+                report.finished_at, result.report.duration_seconds
+            )
+
+        allowed = frozenset(self._world.registry.allowed_domains())
+        encountered = merged_ba.unique_third_parties() | set(allowed)
+        encountered.update(record.domain for record in merged_ba)
+        encountered.update(record.final_domain for record in merged_ba)
+        survey = survey_attestations(self._world, encountered, clock.now())
+        return CrawlResult(
+            d_ba=merged_ba,
+            d_aa=merged_aa,
+            report=report,
+            allowed_domains=allowed,
+            survey=survey,
+        )
+
+
+def _rebase_rank(record, offset: int):
+    from dataclasses import replace
+
+    return replace(record, rank=record.rank + offset)
+
+
+class _ShardView:
+    """A world view whose Tranco ranking is one shard's slice.
+
+    Everything else delegates to the real world; campaigns only consume
+    ``tranco`` plus the lookup/ecosystem surface.
+    """
+
+    def __init__(self, world: "SyntheticWeb", tranco: TrancoList) -> None:
+        self._world = world
+        self.tranco = tranco
+
+    def __getattr__(self, name: str):
+        return getattr(self._world, name)

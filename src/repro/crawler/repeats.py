@@ -1,0 +1,106 @@
+"""Repeated-visit probing: detecting time-alternating A/B tests.
+
+Paper §3: "We run repeated tests to observe the policy some CPs use to
+enable/disable Topics API.  We notice consistent alternating periods: for
+some time, CP, and website, the usage of the API is ON for all visits,
+followed by some time when it is OFF."
+
+The probe revisits a fixed set of consented sites at a fixed cadence over
+a simulated span and records, per (CP, site), the ON/OFF series that the
+alternation detector in :mod:`repro.analysis.abtest` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.browser.browser import Browser
+from repro.util.timeline import SimClock, Timestamp
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+
+@dataclass(frozen=True)
+class ObservationSeries:
+    """One (CP, site) pair's call presence over the probe's visits."""
+
+    caller: str
+    site: str
+    timestamps: tuple[Timestamp, ...]
+    called: tuple[bool, ...]
+
+    def runs(self) -> list[tuple[bool, int]]:
+        """Run-length encoding of the ON/OFF series.
+
+        >>> ObservationSeries("a", "b", (0, 1, 2, 3), (True, True, False, False)).runs()
+        [(True, 2), (False, 2)]
+        """
+        encoded: list[tuple[bool, int]] = []
+        for value in self.called:
+            if encoded and encoded[-1][0] == value:
+                encoded[-1] = (value, encoded[-1][1] + 1)
+            else:
+                encoded.append((value, 1))
+        return encoded
+
+
+class RepeatedVisitProbe:
+    """Revisits chosen sites on a cadence, tracking per-CP call presence."""
+
+    def __init__(
+        self,
+        world: "SyntheticWeb",
+        site_domains: list[str],
+        interval_seconds: int = 3600,
+        rounds: int = 48,
+        user_seed: int = 7,
+    ) -> None:
+        if interval_seconds <= 0 or rounds <= 0:
+            raise ValueError("interval and rounds must be positive")
+        self._world = world
+        self._sites = list(site_domains)
+        self._interval = interval_seconds
+        self._rounds = rounds
+        self._user_seed = user_seed
+
+    def run(self) -> list[ObservationSeries]:
+        """Execute the probe and return one series per (CP, site) seen."""
+        clock = SimClock()
+        browser = Browser(
+            self._world,
+            clock=clock,
+            corrupt_allowlist=True,
+            user_seed=self._user_seed,
+        )
+        for domain in self._sites:
+            browser.consent.grant(domain)
+
+        observed: dict[tuple[str, str], dict[Timestamp, bool]] = {}
+        round_times: list[Timestamp] = []
+
+        for round_index in range(self._rounds):
+            clock.advance_to(round_index * self._interval)
+            round_time = clock.now()
+            round_times.append(round_time)
+            for domain in self._sites:
+                outcome = browser.visit(domain)
+                if not outcome.ok:
+                    continue
+                callers_now = {call.caller for call in outcome.topics_calls}
+                for caller in callers_now:
+                    observed.setdefault((caller, domain), {})[round_time] = True
+
+        series: list[ObservationSeries] = []
+        for (caller, domain), hits in sorted(observed.items()):
+            called = tuple(hits.get(t, False) for t in round_times)
+            series.append(
+                ObservationSeries(
+                    caller=caller,
+                    site=domain,
+                    timestamps=tuple(round_times),
+                    called=called,
+                )
+            )
+        return series

@@ -1,0 +1,114 @@
+"""Attestation-file survey.
+
+"For every first and third party we encounter (i.e., for every domain), we
+verify whether a valid attestation file is present.  If so, we label the
+party as Attested." (paper §2.3).  This module performs that probe over a
+set of encountered domains against the synthetic web's well-known
+endpoints, recording validity and the issue date used for the enrolment
+timeline of §3.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.attestation.wellknown import (
+    AttestationValidationError,
+    validate_attestation_json,
+)
+from repro.util.timeline import Timestamp
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+
+@dataclass(frozen=True)
+class AttestationProbe:
+    """Result of probing one domain's well-known path."""
+
+    domain: str
+    served: bool
+    valid: bool
+    issued: str | None = None  # ISO date from the attestation, when valid
+    has_enrollment_site: bool = False
+
+    @property
+    def attested(self) -> bool:
+        return self.served and self.valid
+
+
+class AttestationSurvey:
+    """Probe results over every encountered domain."""
+
+    def __init__(self, probes: Iterable[AttestationProbe]) -> None:
+        self._by_domain = {probe.domain: probe for probe in probes}
+
+    def __len__(self) -> int:
+        return len(self._by_domain)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._by_domain
+
+    def probe(self, domain: str) -> AttestationProbe | None:
+        return self._by_domain.get(domain)
+
+    def is_attested(self, domain: str) -> bool:
+        probe = self._by_domain.get(domain)
+        return bool(probe and probe.attested)
+
+    def attested_domains(self) -> set[str]:
+        return {d for d, probe in self._by_domain.items() if probe.attested}
+
+    def issue_dates(self) -> dict[str, str]:
+        """Attested domain → ISO issue date (the enrolment timeline input)."""
+        return {
+            domain: probe.issued
+            for domain, probe in self._by_domain.items()
+            if probe.attested and probe.issued
+        }
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Archive the survey (one probe per line) next to the datasets."""
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for domain in sorted(self._by_domain):
+                handle.write(json.dumps(asdict(self._by_domain[domain])))
+                handle.write("\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "AttestationSurvey":
+        probes = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    probes.append(AttestationProbe(**json.loads(line)))
+        return cls(probes)
+
+
+def probe_domain(world: "SyntheticWeb", domain: str, now: Timestamp) -> AttestationProbe:
+    """Fetch and validate one domain's attestation file."""
+    payload = world.well_known_payload(domain, now)
+    if payload is None:
+        return AttestationProbe(domain=domain, served=False, valid=False)
+    try:
+        summary = validate_attestation_json(domain, payload)
+    except AttestationValidationError:
+        return AttestationProbe(domain=domain, served=True, valid=False)
+    return AttestationProbe(
+        domain=domain,
+        served=True,
+        valid=True,
+        issued=summary["issued"] or None,
+        has_enrollment_site=summary["has_enrollment_site"],
+    )
+
+
+def survey_attestations(
+    world: "SyntheticWeb", domains: Iterable[str], now: Timestamp
+) -> AttestationSurvey:
+    """Probe every domain in ``domains`` at time ``now``."""
+    return AttestationSurvey(
+        probe_domain(world, domain, now) for domain in set(domains)
+    )

@@ -1,0 +1,22 @@
+"""End-to-end experiment orchestration.
+
+:func:`repro.experiments.runner.run_full_study` performs the whole paper:
+generate the world, run the Before/After crawl, execute every analysis,
+and return a :class:`~repro.experiments.runner.StudyResult` whose fields
+map one-to-one onto the paper's tables and figures.
+:mod:`repro.experiments.paper` records the published values for
+paper-vs-measured comparisons.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper import PAPER, PaperValue, compare
+from repro.experiments.runner import StudyResult, run_full_study
+
+__all__ = [
+    "PAPER",
+    "ExperimentConfig",
+    "PaperValue",
+    "StudyResult",
+    "compare",
+    "run_full_study",
+]

@@ -1,0 +1,30 @@
+"""Experiment-level configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.config import WorldConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """How to run a study: world shape plus campaign options."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    #: Corrupt the browser's allow-list database (the paper's setup, §2.3).
+    #: With a healthy list, anomalous callers are blocked and invisible.
+    corrupt_allowlist: bool = True
+    #: Optional cap on crawled ranks (None = the whole ranking).
+    limit: int | None = None
+    user_seed: int = 0
+
+    @classmethod
+    def paper_scale(cls, seed: int = 1) -> "ExperimentConfig":
+        """The full 50k-site study."""
+        return cls(world=WorldConfig(seed=seed))
+
+    @classmethod
+    def small(cls, site_count: int = 2_000, seed: int = 1) -> "ExperimentConfig":
+        """A reduced study for tests and quick runs."""
+        return cls(world=WorldConfig.small(site_count=site_count, seed=seed))

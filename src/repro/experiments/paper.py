@@ -1,0 +1,109 @@
+"""The published numbers, for paper-vs-measured comparisons.
+
+Values transcribed from the paper's text, Table 1 and Figures 2–7.  The
+reproduction targets the *shape* (who wins, rough factors, crossovers);
+:func:`compare` reports relative deviation against a tolerance chosen per
+quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One published quantity with a reproduction tolerance."""
+
+    key: str
+    description: str
+    value: float
+    #: Acceptable relative deviation for a "matches the paper" verdict.
+    tolerance: float = 0.15
+
+    def matches(self, measured: float) -> bool:
+        if self.value == 0:
+            return measured == 0
+        return abs(measured - self.value) / abs(self.value) <= self.tolerance
+
+    def deviation(self, measured: float) -> float:
+        if self.value == 0:
+            return 0.0 if measured == 0 else float("inf")
+        return (measured - self.value) / abs(self.value)
+
+
+#: Every headline number the paper reports, keyed for the harness.
+PAPER: dict[str, PaperValue] = {
+    value.key: value
+    for value in (
+        # §2.4 dataset shape
+        PaperValue("crawl.targets", "Tranco sites targeted", 50_000, 0.0),
+        PaperValue("crawl.ok", "successfully visited sites (D_BA)", 43_405, 0.05),
+        PaperValue("crawl.accepted", "After-Accept sites (D_AA)", 14_719, 0.12),
+        PaperValue("crawl.accept_rate", "accept rate over OK sites", 0.339, 0.12),
+        PaperValue("crawl.unique_third_parties", "unique third parties in D_BA", 19_534, 0.10),
+        # Table 1
+        PaperValue("table1.allowed", "Allowed domains", 193, 0.0),
+        PaperValue("table1.allowed_unattested", "Allowed & !Attested", 12, 0.0),
+        PaperValue("table1.aa_allowed_attested", "D_AA Allowed & Attested CPs", 47, 0.12),
+        PaperValue("table1.aa_not_allowed_attested", "D_AA !Allowed & Attested CPs", 1, 0.0),
+        PaperValue("table1.aa_not_allowed", "D_AA !Allowed CPs", 2_614, 0.15),
+        PaperValue("table1.ba_allowed_attested", "D_BA Allowed & Attested CPs", 28, 0.15),
+        PaperValue("table1.ba_not_allowed", "D_BA !Allowed CPs", 1_308, 0.20),
+        # §3
+        PaperValue("fig2.sites_with_call", "share of D_AA sites with a legit call", 0.45, 0.20),
+        PaperValue("fig3.doubleclick_rate", "doubleclick.net enabled %", 33.0, 0.20),
+        PaperValue("fig3.criteo_rate", "criteo.com enabled %", 75.0, 0.15),
+        PaperValue("fig3.yandex_rate", "yandex.com enabled %", 66.0, 0.20),
+        PaperValue("fig3.authorizedvault_rate", "authorizedvault.com enabled %", 98.0, 0.10),
+        PaperValue("enroll.first_year", "first attestation year", 2023, 0.0),
+        PaperValue("enroll.mean_per_month", "enrolments per month", 16.0, 0.35),
+        # §4
+        PaperValue("anomalous.calls", "anomalous calls in D_AA", 3_450, 0.20),
+        PaperValue("anomalous.same_sld", "share sharing the site's SLD", 0.72, 0.12),
+        PaperValue("anomalous.gtm_share", "GTM presence on anomalous sites", 0.95, 0.05),
+        PaperValue("anomalous.javascript", "JavaScript share of anomalous calls", 1.0, 0.0),
+        # §5
+        PaperValue("fig5.top_caller_sites", "top questionable CP site count", 611, 0.30),
+        PaperValue("fig7.hubspot_lift", "HubSpot over-representation", 3.0, 0.40),
+        PaperValue("fig7.hubspot_q_rate", "P(questionable | HubSpot)", 0.12, 0.40),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Measured-vs-paper verdict for one quantity."""
+
+    key: str
+    description: str
+    paper: float
+    measured: float
+    deviation: float
+    ok: bool
+
+
+def compare(key: str, measured: float) -> Comparison:
+    """Compare a measured value against the published one."""
+    expected = PAPER[key]
+    return Comparison(
+        key=key,
+        description=expected.description,
+        paper=expected.value,
+        measured=measured,
+        deviation=expected.deviation(measured),
+        ok=expected.matches(measured),
+    )
+
+
+def render_comparisons(comparisons: list[Comparison]) -> str:
+    """A paper-vs-measured table."""
+    lines = [
+        f"{'quantity':<44} {'paper':>10} {'measured':>10} {'dev':>8}  ok",
+    ]
+    for row in comparisons:
+        lines.append(
+            f"{row.description:<44} {row.paper:>10.3g} {row.measured:>10.3g}"
+            f" {100 * row.deviation:>+7.1f}%  {'yes' if row.ok else 'NO'}"
+        )
+    return "\n".join(lines)

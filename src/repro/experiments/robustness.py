@@ -1,0 +1,118 @@
+"""Seed-grid robustness: the reproduction is a property, not a seed.
+
+Runs the full study over several seeds and summarises every headline
+quantity as mean ± spread against its paper value, separating scale-free
+quantities (which must hold at any world size) from absolute counts
+(which only match at 50k sites).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper import PAPER
+from repro.experiments.runner import StudyResult, run_full_study
+
+#: Quantities that are rates/structural constants — they must land in
+#: their paper band at ANY world scale and seed.
+SCALE_FREE_KEYS: frozenset[str] = frozenset(
+    {
+        "crawl.accept_rate",
+        "table1.allowed",
+        "table1.allowed_unattested",
+        "table1.aa_not_allowed_attested",
+        "fig2.sites_with_call",
+        "fig3.doubleclick_rate",
+        "fig3.criteo_rate",
+        "fig3.authorizedvault_rate",
+        "anomalous.same_sld",
+        "anomalous.gtm_share",
+        "anomalous.javascript",
+        "enroll.first_year",
+        "enroll.mean_per_month",
+    }
+)
+
+
+@dataclass(frozen=True)
+class QuantitySummary:
+    """One quantity's behaviour across the seed grid."""
+
+    key: str
+    description: str
+    paper: float
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def spread(self) -> float:
+        """Population standard deviation (0 for a single seed)."""
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.pstdev(self.values)
+
+    @property
+    def scale_free(self) -> bool:
+        return self.key in SCALE_FREE_KEYS
+
+    @property
+    def all_within_band(self) -> bool:
+        expected = PAPER[self.key]
+        return all(expected.matches(value) for value in self.values)
+
+
+def run_seed_grid(
+    site_count: int, seeds: list[int]
+) -> tuple[list[StudyResult], list[QuantitySummary]]:
+    """Run the study per seed and summarise every compared quantity."""
+    if not seeds:
+        raise ValueError("at least one seed required")
+    results = [
+        run_full_study(
+            ExperimentConfig.paper_scale(seed=seed)
+            if site_count >= 50_000
+            else ExperimentConfig.small(site_count, seed=seed)
+        )
+        for seed in seeds
+    ]
+
+    by_key: dict[str, list[float]] = {}
+    descriptions: dict[str, str] = {}
+    for result in results:
+        for comparison in result.comparisons():
+            by_key.setdefault(comparison.key, []).append(comparison.measured)
+            descriptions[comparison.key] = comparison.description
+
+    summaries = [
+        QuantitySummary(
+            key=key,
+            description=descriptions[key],
+            paper=PAPER[key].value,
+            values=tuple(values),
+        )
+        for key, values in by_key.items()
+    ]
+    return results, summaries
+
+
+def render_robustness(summaries: list[QuantitySummary], seeds: list[int]) -> str:
+    """Text table over the grid (scale-free quantities first)."""
+    lines = [
+        f"Seed grid: {seeds}",
+        f"{'quantity':<44} {'paper':>9} {'mean':>10} {'±':>8}  in band",
+    ]
+    ordered = sorted(summaries, key=lambda s: (not s.scale_free, s.key))
+    for summary in ordered:
+        marker = "all" if summary.all_within_band else (
+            "-" if not summary.scale_free else "NO"
+        )
+        lines.append(
+            f"{summary.description:<44} {summary.paper:>9.3g}"
+            f" {summary.mean:>10.4g} {summary.spread:>8.2g}  {marker}"
+        )
+    return "\n".join(lines)

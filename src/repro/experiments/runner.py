@@ -1,0 +1,164 @@
+"""The end-to-end study runner.
+
+``run_full_study`` is the one-call reproduction of the whole paper:
+world → crawl → every table and figure.  The returned
+:class:`StudyResult` exposes each artefact and a ``comparisons()`` method
+producing the paper-vs-measured sheet EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.abtest import EnabledRate, figure3
+from repro.analysis.anomalous import AnomalousReport, analyze_anomalous
+from repro.analysis.calltypes import CallTypeMix, legitimate_vs_anomalous_mix
+from repro.analysis.classify import Table1, build_table1
+from repro.analysis.dataset_stats import DatasetStats, compute_stats
+from repro.analysis.cmp_analysis import CmpRow, figure7
+from repro.analysis.enrollment import EnrollmentTimeline, enrollment_timeline
+from repro.analysis.pervasiveness import (
+    CpPresence,
+    figure2,
+    legitimate_callers,
+    share_of_sites_with_call,
+)
+from repro.analysis.questionable import (
+    QuestionableByRegion,
+    QuestionableCp,
+    figure5,
+    figure6,
+)
+from repro.crawler.campaign import CrawlCampaign, CrawlResult
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper import Comparison, compare
+from repro.web.generator import SyntheticWeb, WebGenerator
+
+
+@dataclass
+class StudyResult:
+    """Everything one full study produced."""
+
+    config: ExperimentConfig
+    world: SyntheticWeb
+    crawl: CrawlResult
+    table1: Table1
+    fig2: list[CpPresence]
+    fig3: list[EnabledRate]
+    #: every CP's enabled rate (not just the figure's top 15) — per-CP
+    #: comparisons must not depend on who makes the display cutoff.
+    fig3_all: list[EnabledRate]
+    fig5: list[QuestionableCp]
+    fig6: list[QuestionableByRegion]
+    fig7: list[CmpRow]
+    anomalous: AnomalousReport
+    enrollment: EnrollmentTimeline
+    sites_with_call_share: float
+    stats: DatasetStats
+    calltype_legit: CallTypeMix
+    calltype_anomalous: CallTypeMix
+
+    def _rate_of(self, caller: str) -> float:
+        for row in self.fig3_all:
+            if row.caller == caller:
+                return row.enabled_percent
+        return 0.0
+
+    def comparisons(self) -> list[Comparison]:
+        """Paper-vs-measured for every recorded headline quantity."""
+        report = self.crawl.report
+        fig5_top = self.fig5[0].websites if self.fig5 else 0
+        hubspot = next((r for r in self.fig7 if r.name == "HubSpot"), None)
+        return [
+            compare("crawl.targets", report.targets),
+            compare("crawl.ok", report.ok),
+            compare("crawl.accepted", report.accepted),
+            compare("crawl.accept_rate", report.accept_rate),
+            compare(
+                "crawl.unique_third_parties",
+                len(self.crawl.d_ba.unique_third_parties()),
+            ),
+            compare("table1.allowed", self.table1.allowed_total),
+            compare("table1.allowed_unattested", self.table1.allowed_unattested),
+            compare("table1.aa_allowed_attested", self.table1.aa_allowed_attested),
+            compare(
+                "table1.aa_not_allowed_attested",
+                self.table1.aa_not_allowed_attested,
+            ),
+            compare("table1.aa_not_allowed", self.table1.aa_not_allowed),
+            compare("table1.ba_allowed_attested", self.table1.ba_allowed_attested),
+            compare("table1.ba_not_allowed", self.table1.ba_not_allowed),
+            compare("fig2.sites_with_call", self.sites_with_call_share),
+            compare("fig3.doubleclick_rate", self._rate_of("doubleclick.net")),
+            compare("fig3.criteo_rate", self._rate_of("criteo.com")),
+            compare("fig3.yandex_rate", self._rate_of("yandex.com")),
+            compare(
+                "fig3.authorizedvault_rate", self._rate_of("authorizedvault.com")
+            ),
+            compare(
+                "enroll.first_year",
+                self.enrollment.first_date.year if self.enrollment.first_date else 0,
+            ),
+            compare("enroll.mean_per_month", self.enrollment.mean_per_month),
+            compare("anomalous.calls", self.anomalous.total_calls),
+            compare(
+                "anomalous.same_sld",
+                self.anomalous.attribution_fraction("same-second-level-domain"),
+            ),
+            compare("anomalous.gtm_share", self.anomalous.gtm_site_fraction),
+            compare("anomalous.javascript", self.anomalous.javascript_fraction),
+            compare("fig5.top_caller_sites", fig5_top),
+            compare("fig7.hubspot_lift", hubspot.lift if hubspot else 0.0),
+            compare(
+                "fig7.hubspot_q_rate",
+                hubspot.p_questionable_given_cmp if hubspot else 0.0,
+            ),
+        ]
+
+
+def run_full_study(
+    config: ExperimentConfig | None = None,
+    world: SyntheticWeb | None = None,
+    crawl: CrawlResult | None = None,
+) -> StudyResult:
+    """Generate (or reuse) a world, crawl it, and run every analysis.
+
+    Pass ``world``/``crawl`` to reuse expensive artefacts across
+    benchmarks; anything omitted is produced from ``config``.
+    """
+    config = config or ExperimentConfig()
+    if world is None:
+        world = WebGenerator(config.world).generate()
+    if crawl is None:
+        crawl = CrawlCampaign(
+            world,
+            corrupt_allowlist=config.corrupt_allowlist,
+            user_seed=config.user_seed,
+            limit=config.limit,
+        ).run()
+
+    allowed = crawl.allowed_domains
+    survey = crawl.survey
+    legit = legitimate_callers(allowed, survey)
+    calltype_legit, calltype_anomalous = legitimate_vs_anomalous_mix(
+        crawl.d_aa, allowed, survey
+    )
+
+    return StudyResult(
+        config=config,
+        world=world,
+        crawl=crawl,
+        table1=build_table1(crawl.d_ba, crawl.d_aa, allowed, survey),
+        fig2=figure2(crawl.d_aa, allowed, survey),
+        fig3=figure3(crawl.d_aa, allowed, survey),
+        fig3_all=figure3(crawl.d_aa, allowed, survey, top=10_000, min_presence=1),
+        fig5=figure5(crawl.d_ba, allowed, survey),
+        fig6=figure6(crawl.d_ba, allowed, survey),
+        fig7=figure7(crawl.d_ba, allowed, survey, world.cmps),
+        anomalous=analyze_anomalous(crawl.d_aa, allowed, survey, world.entities),
+        enrollment=enrollment_timeline(survey),
+        sites_with_call_share=share_of_sites_with_call(crawl.d_aa, legit),
+        stats=compute_stats(crawl),
+        calltype_legit=calltype_legit,
+        calltype_anomalous=calltype_anomalous,
+    )

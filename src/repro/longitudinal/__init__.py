@@ -1,0 +1,25 @@
+"""Longitudinal monitoring of Topics API adoption.
+
+Paper §6: "we provide a snapshot of Topics API usage in early 2024 ...
+our measurements should be conducted continuously to monitor how the
+technology evolves."  This package implements that follow-up: an adoption
+model that evolves the ecosystem over calendar time
+(:mod:`repro.longitudinal.evolution` — enrolments accumulate, services
+ramp their A/B rates after activating), and a monitor that crawls monthly
+snapshots and reports the trends (:mod:`repro.longitudinal.monitor`).
+"""
+
+from repro.longitudinal.evolution import AdoptionModel, world_at
+from repro.longitudinal.monitor import (
+    LongitudinalMonitor,
+    SnapshotMetrics,
+    render_trend,
+)
+
+__all__ = [
+    "AdoptionModel",
+    "LongitudinalMonitor",
+    "SnapshotMetrics",
+    "render_trend",
+    "world_at",
+]

@@ -1,0 +1,94 @@
+"""Time-evolving adoption: the ecosystem as it looked at a given date.
+
+The base world encodes the *end state* (the paper's March-2024 snapshot
+extended with its enrolment registry).  :func:`world_at` derives the world
+as of an earlier or later date:
+
+* only parties already enrolled by the date are in the allow-list;
+* a service starts calling the API only after an activation lag past its
+  enrolment, then ramps its A/B rate linearly to the configured value —
+  the testing-phase behaviour the paper infers from Figure 3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.attestation.registry import EnrollmentRegistry
+from repro.util.timeline import Timestamp
+from repro.web.generator import SyntheticWeb
+from repro.web.thirdparty import ThirdParty, TopicsPolicy
+
+_SECONDS_PER_MONTH = 30 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class AdoptionModel:
+    """How a service's Topics usage grows after enrolment."""
+
+    #: Months between enrolment and the first production call.
+    activation_lag_months: float = 2.0
+    #: Months over which the A/B rate ramps from ~0 to its final value.
+    ramp_months: float = 6.0
+
+    def rate_factor(self, enrolled_at: Timestamp, now: Timestamp) -> float:
+        """Multiplier (0..1) applied to a service's final enabled rate."""
+        activation = enrolled_at + self.activation_lag_months * _SECONDS_PER_MONTH
+        if now < activation:
+            return 0.0
+        ramp_span = self.ramp_months * _SECONDS_PER_MONTH
+        if ramp_span <= 0:
+            return 1.0
+        progress = (now - activation) / ramp_span
+        return min(1.0, max(0.0, progress))
+
+
+def registry_at(registry: EnrollmentRegistry, now: Timestamp) -> EnrollmentRegistry:
+    """The enrolment registry as of ``now`` (later enrolments dropped)."""
+    return EnrollmentRegistry(
+        [record for record in registry.all_enrollments() if record.enrolled_at <= now]
+    )
+
+
+def world_at(
+    world: SyntheticWeb,
+    now: Timestamp,
+    model: AdoptionModel | None = None,
+) -> SyntheticWeb:
+    """Derive the world as it looked at ``now``.
+
+    Page structure (sites, embeddings, banners) is held fixed — the paper
+    measures adoption, not web churn — while enrolment and per-service
+    calling behaviour follow the adoption model.
+    """
+    model = model if model is not None else AdoptionModel()
+    registry = registry_at(world.registry, now)
+
+    third_parties: dict[str, ThirdParty] = {}
+    for domain, service in world.third_parties.items():
+        record = world.registry.enrollment(domain)
+        if service.policy is None or record is None:
+            third_parties[domain] = service
+            continue
+        factor = model.rate_factor(record.enrolled_at, now)
+        scaled = TopicsPolicy(
+            enabled_rate=service.policy.enabled_rate * factor,
+            before_rate=service.policy.before_rate * factor,
+            ignores_consent_environment=service.policy.ignores_consent_environment,
+            call_type_weights=service.policy.call_type_weights,
+            alternating_period=service.policy.alternating_period,
+            max_calls_per_page=service.policy.max_calls_per_page,
+        )
+        third_parties[domain] = dataclasses.replace(service, policy=scaled)
+
+    return SyntheticWeb(
+        config=world.config,
+        websites=world.websites,
+        shadow_sites=world.shadow_sites,
+        third_parties=third_parties,
+        registry=registry,
+        entities=world.entities,
+        cmps=world.cmps,
+        tranco=world.tranco,
+    )

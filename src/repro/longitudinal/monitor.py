@@ -1,0 +1,90 @@
+"""Monthly snapshot crawls and trend reporting.
+
+One :class:`LongitudinalMonitor` run is the continuous version of the
+paper's one-shot study: crawl the same ranking at a series of dates
+against the evolving ecosystem, and track who is enrolled, who actively
+calls, how much of the web a user encounters the API on, and how many
+parties misbehave pre-consent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.classify import build_table1
+from repro.analysis.pervasiveness import legitimate_callers, share_of_sites_with_call
+from repro.crawler.campaign import CrawlCampaign
+from repro.longitudinal.evolution import AdoptionModel, world_at
+from repro.util.timeline import Timestamp, date_of
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+
+@dataclass(frozen=True)
+class SnapshotMetrics:
+    """One month's headline numbers."""
+
+    at: Timestamp
+    allowed: int
+    active_cps: int
+    questionable_cps: int
+    sites_with_call_share: float
+    anomalous_cps: int
+
+    @property
+    def date_label(self) -> str:
+        return date_of(self.at).isoformat()
+
+
+class LongitudinalMonitor:
+    """Crawls the same world at several dates and collects trends."""
+
+    def __init__(
+        self,
+        world: "SyntheticWeb",
+        model: AdoptionModel | None = None,
+        limit: int | None = None,
+    ) -> None:
+        self._world = world
+        self._model = model if model is not None else AdoptionModel()
+        self._limit = limit
+
+    def snapshot(self, at: Timestamp) -> SnapshotMetrics:
+        """Run one dated snapshot study."""
+        dated_world = world_at(self._world, at, self._model)
+        crawl = CrawlCampaign(
+            dated_world, corrupt_allowlist=True, limit=self._limit
+        ).run()
+        table = build_table1(
+            crawl.d_ba, crawl.d_aa, crawl.allowed_domains, crawl.survey
+        )
+        legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+        return SnapshotMetrics(
+            at=at,
+            allowed=table.allowed_total,
+            active_cps=table.aa_allowed_attested,
+            questionable_cps=table.ba_allowed_attested,
+            sites_with_call_share=share_of_sites_with_call(crawl.d_aa, legit),
+            anomalous_cps=table.aa_not_allowed,
+        )
+
+    def run(self, dates: list[Timestamp]) -> list[SnapshotMetrics]:
+        """Snapshot every date, in order."""
+        return [self.snapshot(at) for at in sorted(dates)]
+
+
+def render_trend(snapshots: list[SnapshotMetrics]) -> str:
+    """Text table of the adoption trend."""
+    lines = [
+        f"{'date':<12} {'allowed':>8} {'active':>7} {'quest.':>7}"
+        f" {'sites w/ call':>14} {'anomalous':>10}",
+    ]
+    for snap in snapshots:
+        lines.append(
+            f"{snap.date_label:<12} {snap.allowed:>8} {snap.active_cps:>7}"
+            f" {snap.questionable_cps:>7} {snap.sites_with_call_share:>13.1%}"
+            f" {snap.anomalous_cps:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Privacy analyses on top of the Topics machinery.
+
+The paper's related-work section points at quantitative privacy results
+for the Topics API — re-identification risk across colluding contexts
+(Carey et al. [20], Jha et al. [23]) and information-flow analyses.  This
+package implements that line of analysis against our spec-faithful
+implementation: a population of users browses for several epochs, two
+observing parties collect per-epoch topic answers, and matching attacks
+attempt to link the two views of the same user
+(:mod:`repro.privacy.attack`, :mod:`repro.privacy.experiment`).
+"""
+
+from repro.privacy.attack import (
+    LinkageResult,
+    SequenceMatcher,
+    TopicOverlapMatcher,
+    link_profiles,
+)
+from repro.privacy.experiment import (
+    ReidentificationConfig,
+    ReidentificationResult,
+    run_reidentification,
+    sweep_epochs,
+    sweep_noise,
+)
+
+__all__ = [
+    "LinkageResult",
+    "ReidentificationConfig",
+    "ReidentificationResult",
+    "SequenceMatcher",
+    "TopicOverlapMatcher",
+    "link_profiles",
+    "run_reidentification",
+    "sweep_epochs",
+    "sweep_noise",
+]

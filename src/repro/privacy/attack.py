@@ -1,0 +1,121 @@
+"""Profile-linkage attacks.
+
+Two parties (two websites, or two colluding ad-tech contexts) each hold,
+per browser they saw, the sequence of per-epoch topic answers the Topics
+API gave *them*.  Because the API picks a (stable, caller-specific) topic
+from the same underlying top-5 each epoch, the two views of one user
+correlate — and across enough epochs they identify the user, which is the
+attack the literature quantifies.
+
+A matcher scores a pair of views; :func:`link_profiles` ranks, for every
+user in view A, all candidates in view B, and reports where the true
+match landed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+#: One caller's view of one user: a topic-id tuple per queried epoch.
+ProfileView = Sequence[tuple[int, ...]]
+
+
+class ProfileMatcher(Protocol):
+    """Scores how likely two views belong to the same user (higher = more)."""
+
+    def score(self, view_a: ProfileView, view_b: ProfileView) -> float: ...
+
+
+class TopicOverlapMatcher:
+    """Jaccard similarity of the *unions* of topics across all epochs.
+
+    Epoch alignment is ignored — robust when the two parties query at
+    different times, and already strong because interests persist.
+    """
+
+    def score(self, view_a: ProfileView, view_b: ProfileView) -> float:
+        union_a = {topic for epoch in view_a for topic in epoch}
+        union_b = {topic for epoch in view_b for topic in epoch}
+        if not union_a and not union_b:
+            return 0.0
+        intersection = union_a & union_b
+        return len(intersection) / len(union_a | union_b)
+
+
+class SequenceMatcher:
+    """Epoch-aligned intersection count.
+
+    Exploits timing: the same epoch's answers for both parties come from
+    the same top-5, so per-epoch overlap is more discriminative than the
+    global union when both parties query on the same schedule.
+    """
+
+    def score(self, view_a: ProfileView, view_b: ProfileView) -> float:
+        total = 0.0
+        for epoch_a, epoch_b in zip(view_a, view_b):
+            overlap = set(epoch_a) & set(epoch_b)
+            total += len(overlap)
+        return total
+
+
+@dataclass(frozen=True)
+class LinkageResult:
+    """Outcome of linking one population across two views."""
+
+    population_size: int
+    true_match_ranks: tuple[int, ...]  # rank 1 = correctly linked first
+
+    @property
+    def accuracy_top1(self) -> float:
+        if not self.true_match_ranks:
+            return 0.0
+        return sum(1 for rank in self.true_match_ranks if rank == 1) / len(
+            self.true_match_ranks
+        )
+
+    def accuracy_top_k(self, k: int) -> float:
+        if not self.true_match_ranks:
+            return 0.0
+        return sum(1 for rank in self.true_match_ranks if rank <= k) / len(
+            self.true_match_ranks
+        )
+
+    @property
+    def mean_rank(self) -> float:
+        if not self.true_match_ranks:
+            return 0.0
+        return sum(self.true_match_ranks) / len(self.true_match_ranks)
+
+    @property
+    def random_baseline(self) -> float:
+        """Top-1 accuracy of guessing uniformly."""
+        return 1.0 / self.population_size if self.population_size else 0.0
+
+
+def link_profiles(
+    views_a: list[ProfileView],
+    views_b: list[ProfileView],
+    matcher: ProfileMatcher,
+) -> LinkageResult:
+    """Attack: for each user's view in A, rank all B candidates.
+
+    ``views_a[i]`` and ``views_b[i]`` belong to the same user — the ground
+    truth the returned ranks are measured against.  Ties rank the true
+    match pessimistically *behind* equal-scoring impostors, so reported
+    accuracy never flatters the attack.
+    """
+    if len(views_a) != len(views_b):
+        raise ValueError("views must cover the same population")
+    ranks: list[int] = []
+    for user, view_a in enumerate(views_a):
+        true_score = matcher.score(view_a, views_b[user])
+        better_or_equal = sum(
+            1
+            for candidate, view_b in enumerate(views_b)
+            if candidate != user and matcher.score(view_a, view_b) >= true_score
+        )
+        ranks.append(better_or_equal + 1)
+    return LinkageResult(
+        population_size=len(views_a), true_match_ranks=tuple(ranks)
+    )

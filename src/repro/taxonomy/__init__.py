@@ -1,0 +1,23 @@
+"""The Topics API taxonomy and the on-device site classifier.
+
+The browser maps every visited site to one or more *topics* drawn from a
+fixed taxonomy (paper §2.1: "assigns to each of them one or more labels,
+called topics, using a predefined language model").  This package embeds a
+taxonomy mirroring the structure of Google's public Topics taxonomy
+(:mod:`repro.taxonomy.data`), a tree type with ancestor/descendant queries
+(:mod:`repro.taxonomy.tree`) and a deterministic classifier standing in for
+Chrome's on-device model (:mod:`repro.taxonomy.classifier`).
+"""
+
+from repro.taxonomy.classifier import SiteClassifier
+from repro.taxonomy.data import TAXONOMY_VERSION, taxonomy_entries
+from repro.taxonomy.tree import TaxonomyTree, TopicNode, load_default_taxonomy
+
+__all__ = [
+    "TAXONOMY_VERSION",
+    "SiteClassifier",
+    "TaxonomyTree",
+    "TopicNode",
+    "load_default_taxonomy",
+    "taxonomy_entries",
+]

@@ -1,0 +1,93 @@
+"""The on-device site classifier.
+
+Chrome assigns topics to a visited site using a small on-device model plus
+a manually curated override list for the most popular hostnames.  We keep
+the same two-tier architecture:
+
+* an **override list** mapping exact hostnames to topic sets, and
+* a deterministic **token model** fallback that hashes hostname tokens into
+  the taxonomy.
+
+The fallback is a stand-in for the real neural model (which Google does not
+publish in a reusable form), but it preserves the two properties the Topics
+API machinery relies on: classification is a pure function of the hostname,
+and each site maps to a small set (≤3 here) of taxonomy topics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.taxonomy.tree import TaxonomyTree, load_default_taxonomy
+from repro.util.text import stable_digest, tokens
+
+#: Maximum topics the classifier assigns to one site (Chrome uses up to 3).
+MAX_TOPICS_PER_SITE = 3
+
+
+class SiteClassifier:
+    """Deterministic hostname → topics classifier."""
+
+    def __init__(
+        self,
+        taxonomy: TaxonomyTree | None = None,
+        overrides: Mapping[str, Sequence[int]] | None = None,
+        model_salt: str = "topics-model-v1",
+    ) -> None:
+        self._taxonomy = taxonomy or load_default_taxonomy()
+        self._model_salt = model_salt
+        self._overrides: dict[str, tuple[int, ...]] = {}
+        if overrides:
+            for host, topic_ids in overrides.items():
+                self.add_override(host, topic_ids)
+
+    @property
+    def taxonomy(self) -> TaxonomyTree:
+        """The taxonomy this classifier maps into."""
+        return self._taxonomy
+
+    def add_override(self, hostname: str, topic_ids: Iterable[int]) -> None:
+        """Pin a hostname to an explicit topic set (the curated list tier)."""
+        ids = tuple(topic_ids)
+        if not ids:
+            raise ValueError("override must list at least one topic")
+        if len(ids) > MAX_TOPICS_PER_SITE:
+            raise ValueError(
+                f"at most {MAX_TOPICS_PER_SITE} topics per site, got {len(ids)}"
+            )
+        for topic_id in ids:
+            if topic_id not in self._taxonomy:
+                raise ValueError(f"unknown topic id {topic_id}")
+        self._overrides[hostname.lower()] = ids
+
+    def has_override(self, hostname: str) -> bool:
+        """Whether the hostname sits in the curated override tier."""
+        return hostname.lower() in self._overrides
+
+    def classify(self, hostname: str) -> tuple[int, ...]:
+        """Topics for a site, override tier first, model tier otherwise.
+
+        Always returns between 1 and :data:`MAX_TOPICS_PER_SITE` topic ids,
+        and the same ids for the same hostname forever.
+        """
+        host = hostname.lower()
+        override = self._overrides.get(host)
+        if override is not None:
+            return override
+        return self._model_classify(host)
+
+    def _model_classify(self, host: str) -> tuple[int, ...]:
+        """Model tier: hash hostname tokens into taxonomy entries.
+
+        Each token votes for one topic; duplicate votes collapse.  A site
+        with a single token still gets one topic, so the function is total.
+        """
+        all_ids = self._taxonomy.all_ids()
+        host_tokens = tokens(host) or [host]
+        votes: list[int] = []
+        for position, token in enumerate(host_tokens[:MAX_TOPICS_PER_SITE]):
+            digest = stable_digest(self._model_salt, token, str(position))
+            votes.append(all_ids[digest % len(all_ids)])
+        seen: set[int] = set()
+        unique = [t for t in votes if not (t in seen or seen.add(t))]
+        return tuple(unique)

@@ -1,0 +1,138 @@
+"""Taxonomy tree: topic nodes, parent/child structure, lookups.
+
+Topics are identified by small integers (as in Chrome) and named by their
+full slash-separated path, e.g. ``/Arts & Entertainment/Music & Audio``.
+Parentage is derived from the path, exactly as in the published taxonomy
+file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TopicNode:
+    """One taxonomy entry."""
+
+    topic_id: int
+    path: str
+
+    @property
+    def name(self) -> str:
+        """Leaf name — the last path component.
+
+        >>> TopicNode(1, "/Arts & Entertainment").name
+        'Arts & Entertainment'
+        """
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def parent_path(self) -> str | None:
+        """Path of the parent entry, or None for a root category."""
+        head, _, __ = self.path.rpartition("/")
+        return head or None
+
+    @property
+    def depth(self) -> int:
+        """Root categories have depth 1."""
+        return self.path.count("/")
+
+
+class TaxonomyTree:
+    """Immutable lookup structure over a set of :class:`TopicNode` entries."""
+
+    def __init__(self, entries: Iterable[TopicNode]) -> None:
+        self._by_id: dict[int, TopicNode] = {}
+        self._by_path: dict[str, TopicNode] = {}
+        self._children: dict[int, list[int]] = {}
+        for node in entries:
+            if node.topic_id in self._by_id:
+                raise ValueError(f"duplicate topic id {node.topic_id}")
+            if node.path in self._by_path:
+                raise ValueError(f"duplicate topic path {node.path!r}")
+            if not node.path.startswith("/") or node.path.endswith("/"):
+                raise ValueError(f"malformed topic path {node.path!r}")
+            self._by_id[node.topic_id] = node
+            self._by_path[node.path] = node
+        for node in self._by_id.values():
+            parent_path = node.parent_path
+            if parent_path is None:
+                continue
+            parent = self._by_path.get(parent_path)
+            if parent is None:
+                raise ValueError(f"topic {node.path!r} has no parent entry")
+            self._children.setdefault(parent.topic_id, []).append(node.topic_id)
+        for child_ids in self._children.values():
+            child_ids.sort()
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, topic_id: int) -> bool:
+        return topic_id in self._by_id
+
+    def __iter__(self) -> Iterator[TopicNode]:
+        return iter(sorted(self._by_id.values(), key=lambda n: n.topic_id))
+
+    def get(self, topic_id: int) -> TopicNode:
+        """Node by id; raises KeyError for unknown ids."""
+        return self._by_id[topic_id]
+
+    def by_path(self, path: str) -> TopicNode:
+        """Node by full path; raises KeyError for unknown paths."""
+        return self._by_path[path]
+
+    def all_ids(self) -> list[int]:
+        """All topic ids, ascending."""
+        return sorted(self._by_id)
+
+    def roots(self) -> list[TopicNode]:
+        """The top-level categories."""
+        return sorted(
+            (n for n in self._by_id.values() if n.parent_path is None),
+            key=lambda n: n.topic_id,
+        )
+
+    def children(self, topic_id: int) -> list[TopicNode]:
+        """Direct children of a node (empty list for leaves)."""
+        return [self._by_id[cid] for cid in self._children.get(topic_id, [])]
+
+    def parent(self, topic_id: int) -> TopicNode | None:
+        """Parent node, or None for roots."""
+        parent_path = self._by_id[topic_id].parent_path
+        return self._by_path[parent_path] if parent_path else None
+
+    def ancestors(self, topic_id: int) -> list[TopicNode]:
+        """Ancestor chain from the node's parent up to its root category."""
+        chain: list[TopicNode] = []
+        node = self.parent(topic_id)
+        while node is not None:
+            chain.append(node)
+            node = self.parent(node.topic_id)
+        return chain
+
+    def root_of(self, topic_id: int) -> TopicNode:
+        """The top-level category a topic belongs to (itself, for roots)."""
+        chain = self.ancestors(topic_id)
+        return chain[-1] if chain else self._by_id[topic_id]
+
+    def descendants(self, topic_id: int) -> list[TopicNode]:
+        """All strict descendants of a node, in id order."""
+        collected: list[TopicNode] = []
+        frontier = list(self._children.get(topic_id, []))
+        while frontier:
+            current = frontier.pop()
+            collected.append(self._by_id[current])
+            frontier.extend(self._children.get(current, []))
+        return sorted(collected, key=lambda n: n.topic_id)
+
+
+def load_default_taxonomy() -> TaxonomyTree:
+    """Build the tree from the embedded taxonomy data."""
+    from repro.taxonomy.data import taxonomy_entries
+
+    return TaxonomyTree(
+        TopicNode(topic_id, path) for topic_id, path in taxonomy_entries()
+    )

@@ -1,0 +1,16 @@
+"""Synthetic user population with interest-driven browsing.
+
+The paper's crawl uses one fresh profile for a single day, so the Topics
+machinery never accumulates real history.  This package provides what the
+paper's *related work* analyses need (re-identification risk, [20]/[23] in
+its bibliography): a population of users with stable interest profiles
+(:mod:`repro.users.profile`, :mod:`repro.users.population`) whose weekly
+browsing traces (:mod:`repro.users.browsing`) drive per-user Topics state
+over many epochs.
+"""
+
+from repro.users.browsing import TraceGenerator, UserTopicsSession
+from repro.users.population import Population
+from repro.users.profile import UserProfile
+
+__all__ = ["Population", "TraceGenerator", "UserProfile", "UserTopicsSession"]

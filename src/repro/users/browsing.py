@@ -1,0 +1,125 @@
+"""Interest-driven browsing traces feeding per-user Topics state.
+
+:class:`UserTopicsSession` wires one user's own Topics machinery (history,
+selector, allow-list) together; :class:`TraceGenerator` simulates weekly
+browsing where callers embedded on the visited sites observe the user —
+after a few epochs each caller can query the user's topics exactly as a
+real advertiser would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attestation.allowlist import AllowList, AllowListDatabase
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.browser.topics.types import ApiCallType, Topic
+from repro.users.population import Population
+from repro.util.rng import RngStream
+from repro.util.timeline import EPOCH_DURATION
+
+
+@dataclass
+class UserTopicsSession:
+    """One user's browser-side Topics state."""
+
+    user_id: int
+    manager: BrowsingTopicsSiteDataManager
+
+    def topics_for(self, caller: str, epoch: int) -> list[Topic]:
+        """What ``caller`` receives when querying during ``epoch``
+        (read-only: does not add an observation)."""
+        return self.manager.handle_topics_call(
+            caller_host=f"tags.{caller}",
+            top_frame_site="query.example",
+            call_type=ApiCallType.JAVASCRIPT,
+            now=epoch * EPOCH_DURATION,
+            observe=False,
+        )
+
+
+class TraceGenerator:
+    """Simulates a population's browsing over several epochs."""
+
+    def __init__(
+        self,
+        population: Population,
+        callers: list[str],
+        visits_per_epoch: int = 10,
+        noise_probability: float = 0.05,
+        caller_coverage: float = 1.0,
+    ) -> None:
+        """``callers`` are the observing parties (all enrolled).
+
+        ``caller_coverage`` is the probability a given caller's tag sits
+        on a given visited site — 1.0 models an observer embedded
+        everywhere (the strongest attacker).
+        """
+        if not callers:
+            raise ValueError("at least one caller required")
+        if visits_per_epoch <= 0:
+            raise ValueError("visits_per_epoch must be positive")
+        self._population = population
+        self._callers = list(callers)
+        self._visits_per_epoch = visits_per_epoch
+        self._noise_probability = noise_probability
+        self._caller_coverage = caller_coverage
+        self._rng = RngStream(population.seed, "traces")
+        self._allowlist = AllowListDatabase.from_allowlist(AllowList.of(callers))
+
+    def session_for(self, user_id: int) -> UserTopicsSession:
+        """Fresh (empty-history) session for one user."""
+        selector = EpochTopicsSelector(
+            self._population.classifier,
+            user_seed=self._population.seed * 1_000_003 + user_id,
+            noise_probability=self._noise_probability,
+        )
+        manager = BrowsingTopicsSiteDataManager(selector, self._allowlist)
+        return UserTopicsSession(user_id=user_id, manager=manager)
+
+    def run(self, user_id: int, epochs: int) -> UserTopicsSession:
+        """Simulate ``epochs`` weeks of browsing for one user."""
+        session = self.session_for(user_id)
+        profile = self._population.profile(user_id)
+        interests = profile.normalised()
+        if not interests:
+            return session
+        topics = [topic for topic, _ in interests]
+        weights = [weight for _, weight in interests]
+        user_rng = self._rng.child("user", user_id)
+
+        for epoch in range(epochs):
+            for visit in range(self._visits_per_epoch):
+                topic = user_rng.weighted_choice(topics, weights)
+                pool = self._population.sites_for(topic)
+                if not pool:
+                    continue
+                site = user_rng.choice(pool)
+                at = epoch * EPOCH_DURATION + visit * (
+                    EPOCH_DURATION // (self._visits_per_epoch + 1)
+                )
+                session.manager.record_page_visit(site, at)
+                for caller in self._callers:
+                    if self._caller_coverage < 1.0 and not user_rng.bernoulli(
+                        self._caller_coverage
+                    ):
+                        continue
+                    session.manager.handle_topics_call(
+                        caller_host=f"tags.{caller}",
+                        top_frame_site=site,
+                        call_type=ApiCallType.JAVASCRIPT,
+                        now=at,
+                    )
+        return session
+
+    def observed_topics(
+        self, session: UserTopicsSession, caller: str, query_epochs: list[int]
+    ) -> list[tuple[int, ...]]:
+        """The per-epoch topic-id vectors ``caller`` collects by querying
+        at the start of each epoch in ``query_epochs``."""
+        collected: list[tuple[int, ...]] = []
+        for epoch in query_epochs:
+            topics = session.topics_for(caller, epoch)
+            collected.append(tuple(sorted(t.topic_id for t in topics)))
+        return collected

@@ -1,0 +1,86 @@
+"""Populations: many users plus the site pool they browse.
+
+The pool gives every taxonomy topic a handful of dedicated sites (pinned
+through classifier overrides), so a user's interest in a topic translates
+into visits the Topics machinery classifies back to that topic — closing
+the loop the re-identification analyses measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.taxonomy.classifier import SiteClassifier
+from repro.taxonomy.tree import TaxonomyTree, load_default_taxonomy
+from repro.users.profile import UserProfile, generate_profile
+from repro.util.rng import RngStream
+
+
+@dataclass
+class Population:
+    """N users with stable profiles and a shared topical site pool."""
+
+    seed: int
+    profiles: list[UserProfile]
+    taxonomy: TaxonomyTree
+    classifier: SiteClassifier
+    #: topic id → hostnames dedicated to that topic.
+    sites_by_topic: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def profile(self, user_id: int) -> UserProfile:
+        return self.profiles[user_id]
+
+    def sites_for(self, topic_id: int) -> tuple[str, ...]:
+        return self.sites_by_topic.get(topic_id, ())
+
+    @classmethod
+    def generate(
+        cls,
+        size: int,
+        seed: int = 1,
+        taxonomy: TaxonomyTree | None = None,
+        sites_per_topic: int = 3,
+        interests_min: int = 3,
+        interests_max: int = 8,
+    ) -> "Population":
+        """Build a population of ``size`` users.
+
+        Every taxonomy topic receives ``sites_per_topic`` synthetic sites
+        whose classification is pinned to exactly that topic.
+        """
+        if size <= 0:
+            raise ValueError("population size must be positive")
+        taxonomy = taxonomy or load_default_taxonomy()
+        rng = RngStream(seed, "population")
+
+        classifier = SiteClassifier(taxonomy)
+        sites_by_topic: dict[int, tuple[str, ...]] = {}
+        for node in taxonomy:
+            hosts = tuple(
+                f"topic{node.topic_id}-{index}.example"
+                for index in range(sites_per_topic)
+            )
+            for host in hosts:
+                classifier.add_override(host, [node.topic_id])
+            sites_by_topic[node.topic_id] = hosts
+
+        profiles = [
+            generate_profile(
+                rng,
+                user_id,
+                taxonomy,
+                interests_min=interests_min,
+                interests_max=interests_max,
+            )
+            for user_id in range(size)
+        ]
+        return cls(
+            seed=seed,
+            profiles=profiles,
+            taxonomy=taxonomy,
+            classifier=classifier,
+            sites_by_topic=sites_by_topic,
+        )

@@ -1,0 +1,26 @@
+"""Foundation utilities shared by every subsystem.
+
+The reproduction is fully deterministic: all randomness flows through the
+named streams of :mod:`repro.util.rng`, domain arithmetic goes through the
+public-suffix logic of :mod:`repro.util.psl`, and simulated wall-clock time
+is owned by :mod:`repro.util.timeline`.
+"""
+
+from repro.util.psl import PublicSuffixList, etld_plus_one, registrable_domain
+from repro.util.rng import RngStream, derive_seed
+from repro.util.timeline import EPOCH_DURATION, SimClock, Timestamp
+from repro.util.urls import Url, origin_of, parse_url
+
+__all__ = [
+    "EPOCH_DURATION",
+    "PublicSuffixList",
+    "RngStream",
+    "SimClock",
+    "Timestamp",
+    "Url",
+    "derive_seed",
+    "etld_plus_one",
+    "origin_of",
+    "parse_url",
+    "registrable_domain",
+]

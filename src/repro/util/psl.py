@@ -1,0 +1,140 @@
+"""Public-suffix handling and registrable-domain (eTLD+1) extraction.
+
+The paper's §4 attribution ("the website and CP second-level domains are the
+same, e.g. ``www.foo.com`` and ``ad.foo.net``") and the Topics API itself
+both reason about *registrable domains*: the public suffix plus one label.
+Real browsers ship Mozilla's Public Suffix List; we embed the subset of
+rules the synthetic web uses, with the same longest-match semantics
+(including multi-label suffixes such as ``co.uk``) so the logic is faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+# Multi-label public suffixes present in the synthetic web.  Single-label
+# TLDs (com, net, org, country codes, ...) need no listing: the fallback rule
+# "*" of the real PSL treats any unknown final label as a public suffix.
+_DEFAULT_MULTI_LABEL_SUFFIXES: tuple[str, ...] = (
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "com.br",
+    "net.br",
+    "org.br",
+    "com.au",
+    "net.au",
+    "com.cn",
+    "com.ru",
+    "co.in",
+    "co.kr",
+    "com.tr",
+    "com.mx",
+    "com.ar",
+    "co.za",
+    "com.pl",
+    "com.ua",
+)
+
+
+class PublicSuffixList:
+    """Longest-match public-suffix lookups over an embedded rule set."""
+
+    def __init__(self, multi_label_suffixes: Iterable[str] | None = None) -> None:
+        rules = (
+            _DEFAULT_MULTI_LABEL_SUFFIXES
+            if multi_label_suffixes is None
+            else tuple(multi_label_suffixes)
+        )
+        self._multi_label: frozenset[str] = frozenset(s.lower() for s in rules)
+        for suffix in self._multi_label:
+            if "." not in suffix:
+                raise ValueError(f"multi-label suffix expected, got {suffix!r}")
+
+    def public_suffix(self, hostname: str) -> str:
+        """Return the public suffix of ``hostname``.
+
+        >>> PublicSuffixList().public_suffix("www.example.co.uk")
+        'co.uk'
+        >>> PublicSuffixList().public_suffix("ad.foo.net")
+        'net'
+        """
+        labels = _labels(hostname)
+        if len(labels) >= 2:
+            two = ".".join(labels[-2:])
+            if two in self._multi_label:
+                return two
+        return labels[-1]
+
+    def registrable_domain(self, hostname: str) -> str:
+        """Return the eTLD+1 of ``hostname``.
+
+        A hostname that *is* a bare public suffix is returned unchanged —
+        the same graceful fallback Chromium applies.
+
+        >>> psl = PublicSuffixList()
+        >>> psl.registrable_domain("www.shop.example.co.uk")
+        'example.co.uk'
+        >>> psl.registrable_domain("ad.foo.net")
+        'foo.net'
+        """
+        labels = _labels(hostname)
+        suffix = self.public_suffix(hostname)
+        suffix_len = suffix.count(".") + 1
+        if len(labels) <= suffix_len:
+            return hostname.lower().rstrip(".")
+        return ".".join(labels[-(suffix_len + 1):])
+
+    def second_level_name(self, hostname: str) -> str:
+        """Return the label left of the public suffix — the paper's notion of
+        "second-level domain" used to match ``www.foo.com`` with ``ad.foo.net``.
+
+        >>> PublicSuffixList().second_level_name("www.foo.com")
+        'foo'
+        >>> PublicSuffixList().second_level_name("ad.foo.net")
+        'foo'
+        """
+        registrable = self.registrable_domain(hostname)
+        return registrable.split(".", 1)[0]
+
+
+_DEFAULT_PSL = PublicSuffixList()
+
+
+def etld_plus_one(hostname: str) -> str:
+    """Module-level shorthand for the default PSL's registrable domain."""
+    return _DEFAULT_PSL.registrable_domain(hostname)
+
+
+def registrable_domain(hostname: str) -> str:
+    """Alias of :func:`etld_plus_one` matching spec terminology."""
+    return _DEFAULT_PSL.registrable_domain(hostname)
+
+
+def second_level_name(hostname: str) -> str:
+    """Module-level shorthand for the default PSL's second-level name."""
+    return _DEFAULT_PSL.second_level_name(hostname)
+
+
+def same_second_level(host_a: str, host_b: str) -> bool:
+    """True when two hosts share the paper's "second-level domain" notion.
+
+    This deliberately ignores the suffix: ``www.foo.com`` and ``ad.foo.net``
+    match, exactly as in the paper's §4 attribution.
+    """
+    return second_level_name(host_a) == second_level_name(host_b)
+
+
+def _labels(hostname: str) -> list[str]:
+    cleaned = hostname.strip().rstrip(".").lower()
+    if not cleaned:
+        raise ValueError("empty hostname")
+    labels = cleaned.split(".")
+    if any(not label for label in labels):
+        raise ValueError(f"malformed hostname: {hostname!r}")
+    return labels

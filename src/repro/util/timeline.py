@@ -1,0 +1,92 @@
+"""Simulated wall-clock time, dates and Topics epochs.
+
+The reproduction never reads the real clock: every timestamp comes from a
+:class:`SimClock` owned by the experiment.  The clock counts seconds from a
+fixed simulation origin (2024-03-30T00:00:00Z — the day the paper's crawl
+started) and knows how to convert to calendar dates for artefacts such as
+attestation issue dates.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+#: Topics API epoch length — one week, per the spec and paper §2.1.
+EPOCH_DURATION: int = 7 * 24 * 3600
+
+#: The simulation's time origin (paper crawl start date).
+SIM_ORIGIN: _dt.datetime = _dt.datetime(2024, 3, 30, tzinfo=_dt.timezone.utc)
+
+Timestamp = int  # seconds since SIM_ORIGIN (may be negative for history)
+
+
+def timestamp_from_date(year: int, month: int, day: int) -> Timestamp:
+    """Seconds from the simulation origin to midnight UTC of the given date.
+
+    Dates before the origin yield negative timestamps, which is how the
+    enrolment registry expresses attestations issued in 2023.
+
+    >>> timestamp_from_date(2024, 3, 30)
+    0
+    >>> timestamp_from_date(2024, 3, 31)
+    86400
+    """
+    moment = _dt.datetime(year, month, day, tzinfo=_dt.timezone.utc)
+    return int((moment - SIM_ORIGIN).total_seconds())
+
+
+def date_of(timestamp: Timestamp) -> _dt.date:
+    """Calendar date (UTC) of a simulation timestamp."""
+    return (SIM_ORIGIN + _dt.timedelta(seconds=timestamp)).date()
+
+
+def epoch_index(timestamp: Timestamp) -> int:
+    """Index of the Topics epoch containing ``timestamp``.
+
+    Epoch 0 starts at the simulation origin; earlier times fall in negative
+    epochs (floor division keeps the arithmetic consistent either side).
+
+    >>> epoch_index(0)
+    0
+    >>> epoch_index(EPOCH_DURATION - 1)
+    0
+    >>> epoch_index(EPOCH_DURATION)
+    1
+    >>> epoch_index(-1)
+    -1
+    """
+    return timestamp // EPOCH_DURATION
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Components share one clock instance; :meth:`advance` models time passing
+    (page loads, inter-visit gaps) and :meth:`now` stamps events.
+    """
+
+    current: Timestamp = 0
+
+    def now(self) -> Timestamp:
+        """Current simulated time."""
+        return self.current
+
+    def advance(self, seconds: int) -> Timestamp:
+        """Advance the clock and return the new time."""
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self.current += seconds
+        return self.current
+
+    def advance_to(self, timestamp: Timestamp) -> Timestamp:
+        """Jump forward to an absolute time (no-op if already past it)."""
+        if timestamp > self.current:
+            self.current = timestamp
+        return self.current
+
+    @property
+    def epoch(self) -> int:
+        """The Topics epoch the clock currently sits in."""
+        return epoch_index(self.current)

@@ -1,0 +1,30 @@
+"""The synthetic Web substrate.
+
+The paper crawls the live Tranco top-50k; offline, we generate a
+deterministic synthetic Web with the same *structure*: ranked first-party
+websites across TLD regions, an ecosystem of embedded third parties with
+calibrated prevalence and Topics-API adoption policies, consent banners and
+Consent Management Platforms, Google-Tag-Manager-style rogue scripts, and
+the enrolment registry artefacts served at well-known paths.
+
+Entry point: :class:`repro.web.generator.WebGenerator` driven by a
+:class:`repro.web.config.WorldConfig`.
+"""
+
+from repro.web.config import WorldConfig
+from repro.web.generator import SyntheticWeb, WebGenerator
+from repro.web.site import Website
+from repro.web.thirdparty import ThirdParty, TopicsPolicy
+from repro.web.tlds import Region
+from repro.web.tranco import TrancoList
+
+__all__ = [
+    "Region",
+    "SyntheticWeb",
+    "ThirdParty",
+    "TopicsPolicy",
+    "TrancoList",
+    "WebGenerator",
+    "Website",
+    "WorldConfig",
+]

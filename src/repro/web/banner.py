@@ -1,0 +1,142 @@
+"""Consent banners: languages, accept wording, gating behaviour.
+
+Priv-Accept (paper §2.2) finds the banner's accept button by keyword
+matching in five languages (English, French, Spanish, German, Italian) and
+is 92–95% accurate on those.  The generator therefore attaches to each
+bannered site a language, an accept phrase (usually a standard one, but a
+few per cent use odd wording that defeats keyword matching), and the
+banner's *gating* behaviour — whether consent-requiring third parties are
+actually blocked before acceptance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Languages Priv-Accept supports, with the accept-button keywords it knows.
+SUPPORTED_ACCEPT_KEYWORDS: dict[str, tuple[str, ...]] = {
+    "en": ("accept all", "accept cookies", "accept", "agree", "allow all", "got it"),
+    "fr": ("tout accepter", "accepter", "j'accepte", "autoriser"),
+    "es": ("aceptar todo", "aceptar", "de acuerdo", "permitir"),
+    "de": ("alle akzeptieren", "akzeptieren", "zustimmen", "einverstanden"),
+    "it": ("accetta tutto", "accetta", "accetto", "consenti"),
+}
+
+#: Words that mark a button as *not* the accept action — clicking "Reject
+#: all" or "Cookie settings" would silently invalidate the After-Accept
+#: visit, so the matcher must skip buttons containing these.
+NEGATIVE_KEYWORDS: dict[str, tuple[str, ...]] = {
+    "en": ("reject", "decline", "refuse", "settings", "preferences", "only necessary"),
+    "fr": ("refuser", "rejeter", "paramètres", "préférences"),
+    "es": ("rechazar", "configurar", "preferencias"),
+    "de": ("ablehnen", "verweigern", "einstellungen"),
+    "it": ("rifiuta", "impostazioni", "preferenze"),
+}
+
+#: Typical reject/settings button texts per language (banner furniture).
+_REJECT_PHRASES: dict[str, tuple[str, ...]] = {
+    "en": ("Reject all", "Decline", "Only necessary cookies", "Cookie settings"),
+    "fr": ("Tout refuser", "Paramètres des cookies"),
+    "es": ("Rechazar todo", "Configurar cookies"),
+    "de": ("Alle ablehnen", "Einstellungen"),
+    "it": ("Rifiuta tutto", "Impostazioni cookie"),
+    "ru": ("Отклонить все",),
+    "ja": ("すべて拒否",),
+    "pt": ("Rejeitar tudo",),
+    "tr": ("Tümünü reddet",),
+    "zh": ("全部拒绝",),
+    "nl": ("Alles weigeren",),
+    "sv": ("Avvisa alla",),
+}
+
+#: Standard accept phrases per language, including ones Priv-Accept misses.
+#: Unsupported languages defeat it entirely.
+_STANDARD_PHRASES: dict[str, tuple[str, ...]] = {
+    "en": ("Accept all", "Accept cookies", "I agree", "Allow all", "Got it"),
+    "fr": ("Tout accepter", "J'accepte", "Accepter les cookies"),
+    "es": ("Aceptar todo", "Aceptar cookies", "De acuerdo"),
+    "de": ("Alle akzeptieren", "Zustimmen", "Akzeptieren"),
+    "it": ("Accetta tutto", "Accetto", "Accetta i cookie"),
+    "ru": ("Принять все", "Согласен"),
+    "ja": ("すべて同意する", "同意します"),
+    "pt": ("Aceitar tudo", "Concordo"),
+    "tr": ("Tümünü kabul et",),
+    "zh": ("全部接受",),
+    "nl": ("Alles accepteren",),
+    "sv": ("Acceptera alla",),
+}
+
+#: Odd-but-real wordings that slip past keyword matching even in supported
+#: languages (the 5-8% miss rate the Priv-Accept authors measured).
+_ODD_PHRASES: dict[str, tuple[str, ...]] = {
+    "en": ("Sounds good", "Continue to site", "OK, proceed"),
+    "fr": ("Continuer vers le site", "C'est noté"),
+    "es": ("Continuar al sitio", "Entendido, seguir"),
+    "de": ("Weiter zur Seite", "Verstanden, weiter"),
+    "it": ("Continua al sito", "Ho capito, prosegui"),
+}
+
+
+@dataclass(frozen=True)
+class ConsentBanner:
+    """A site's consent UI as the crawler perceives it.
+
+    ``accept_text`` is the accept button's label (what keyword matching
+    runs against); ``other_buttons`` are the rest of the banner's
+    clickable labels (reject, settings) that a correct matcher must skip.
+    ``cmp`` names the backing Consent Management Platform (None for a
+    home-grown banner); ``gates_before_consent`` tells whether
+    consent-requiring third parties are actually held back until
+    acceptance — False models the misconfigured/shallow deployments
+    behind Figures 5–7.
+    """
+
+    language: str
+    accept_text: str
+    cmp: str | None
+    gates_before_consent: bool
+    other_buttons: tuple[str, ...] = ()
+
+    @property
+    def language_supported(self) -> bool:
+        """Whether Priv-Accept knows this banner's language at all."""
+        return self.language in SUPPORTED_ACCEPT_KEYWORDS
+
+    def buttons(self) -> tuple[str, ...]:
+        """Every clickable label, reject/settings furniture first — the
+        worst-case DOM order for a naive matcher."""
+        return (*self.other_buttons, self.accept_text)
+
+
+def standard_phrase(language: str, variant: int) -> str:
+    """A standard accept phrase for a language (variant-indexed)."""
+    phrases = _STANDARD_PHRASES.get(language)
+    if not phrases:
+        raise ValueError(f"no phrases for language {language!r}")
+    return phrases[variant % len(phrases)]
+
+
+def odd_phrase(language: str, variant: int) -> str:
+    """An accept phrase that defeats keyword matching (supported langs only)."""
+    phrases = _ODD_PHRASES.get(language)
+    if not phrases:
+        raise ValueError(f"no odd phrases for language {language!r}")
+    return phrases[variant % len(phrases)]
+
+
+def reject_phrase(language: str, variant: int) -> str:
+    """A reject/settings button label for a language."""
+    phrases = _REJECT_PHRASES.get(language)
+    if not phrases:
+        raise ValueError(f"no reject phrases for language {language!r}")
+    return phrases[variant % len(phrases)]
+
+
+def languages_with_odd_phrases() -> tuple[str, ...]:
+    """Languages for which an odd (keyword-defeating) wording exists."""
+    return tuple(_ODD_PHRASES)
+
+
+def all_languages() -> tuple[str, ...]:
+    """Every language the generator can emit banners in."""
+    return tuple(_STANDARD_PHRASES)

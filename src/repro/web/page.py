@@ -1,0 +1,109 @@
+"""Page/DOM model: the tags a visit materialises.
+
+A page is a flat list of typed tags rather than a full DOM tree — exactly
+the granularity the measurement needs: *where a tag's content comes from*
+(its URL), *which browsing context it will execute in* (script tags run in
+the embedder's context, iframes get their own), and *whether the consent
+manager holds it back before acceptance*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.urls import Url
+from repro.web.banner import ConsentBanner
+
+
+class ScriptKind(enum.Enum):
+    """What a script does when executed (dispatched by the script runtime)."""
+
+    GENERIC = "generic"  # fetches sub-resources, no Topics involvement
+    AD_TAG = "ad-tag"  # an enrolled service's tag: may call the Topics API
+    TAG_MANAGER = "tag-manager"  # GTM-style loader; may carry a rogue call
+    CMP = "cmp"  # consent-manager script
+    ROGUE_FIRST_PARTY = "rogue-first-party"  # non-GTM library with a stray call
+
+
+@dataclass(frozen=True)
+class ScriptTag:
+    """A ``<script src=...>`` placed directly in the page HTML.
+
+    Per the HTML spec (and paper Figure 4), the script *executes in the
+    embedding document's context*: its origin is the page's, not the
+    script URL's — the mechanism behind every anomalous call in §4.
+    """
+
+    src: Url
+    kind: ScriptKind = ScriptKind.GENERIC
+    gated: bool = False  # held back until consent by the site's banner/CMP
+    rogue_topics_call: bool = False  # this tag's code calls browsingTopics()
+    rogue_call_count: int = 1
+    rogue_fires_before_consent: bool = False
+
+
+@dataclass(frozen=True)
+class IFrameTag:
+    """An ``<iframe src=...>``: a nested browsing context with its own origin."""
+
+    src: Url
+    gated: bool = False
+    scripts: tuple[ScriptTag, ...] = ()
+    browsingtopics_attr: bool = False  # the <iframe browsingtopics> call type
+
+
+@dataclass(frozen=True)
+class ResourceTag:
+    """A passive sub-resource (image, stylesheet, font): logged, not executed."""
+
+    src: Url
+    gated: bool = False
+
+
+@dataclass
+class PageModel:
+    """Everything one URL serves: tags plus the consent banner, if any."""
+
+    url: Url
+    scripts: list[ScriptTag] = field(default_factory=list)
+    iframes: list[IFrameTag] = field(default_factory=list)
+    resources: list[ResourceTag] = field(default_factory=list)
+    banner: ConsentBanner | None = None
+
+    def third_party_hosts(self) -> set[str]:
+        """Hosts of every non-page-origin tag (ungated and gated alike)."""
+        hosts = {tag.src.host for tag in self.scripts}
+        hosts.update(tag.src.host for tag in self.iframes)
+        hosts.update(tag.src.host for tag in self.resources)
+        hosts.discard(self.url.host)
+        return hosts
+
+    def render_html(self) -> str:
+        """The page's rendered HTML — what a DOM-scanning crawler sees.
+
+        Banner buttons appear in worst-case order (reject/settings before
+        accept) so the Priv-Accept HTML path is exercised realistically.
+        """
+        lines = ["<!DOCTYPE html>", "<html>", "<head>"]
+        for tag in self.resources:
+            lines.append(f'  <link rel="preload" href="{tag.src}">')
+        for tag in self.scripts:
+            lines.append(f'  <script src="{tag.src}"></script>')
+        lines.append("</head>")
+        lines.append("<body>")
+        if self.banner is not None:
+            lines.append('  <div class="consent-banner" role="dialog">')
+            lines.append(
+                "    <p>We value your privacy. We and our partners process"
+                " personal data.</p>"
+            )
+            for button_text in self.banner.buttons():
+                lines.append(f"    <button>{button_text}</button>")
+            lines.append("  </div>")
+        for tag in self.iframes:
+            attr = " browsingtopics" if tag.browsingtopics_attr else ""
+            lines.append(f'  <iframe src="{tag.src}"{attr}></iframe>')
+        lines.append("</body>")
+        lines.append("</html>")
+        return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""First-party websites and their page construction.
+
+A :class:`Website` is pure data (rank, TLD, banner, embedded services,
+rogue-call configuration); the page a visit materialises is built on the
+fly by :meth:`Website.build_page`, so a 50k-site world stays small in
+memory while every visit still sees a full tag-level DOM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.util.urls import Url, https
+from repro.web.banner import ConsentBanner
+from repro.web.page import IFrameTag, PageModel, ResourceTag, ScriptKind, ScriptTag
+from repro.web.thirdparty import GTM_DOMAIN, ThirdPartyCategory
+
+
+class RogueVariant(enum.Enum):
+    """How a site ends up issuing a not-Allowed Topics call (paper §4)."""
+
+    ROOT_GTM = "root-gtm"  # GTM's script calls from the root context (the 95%)
+    ROOT_LIB = "root-lib"  # another library does the same on GTM-less sites
+    SIBLING = "sibling"  # the call comes from a same-second-level sibling domain
+    ENTITY = "entity"  # ... from a same-company domain (windows.com/microsoft.com)
+    REDIRECT = "redirect"  # the visited site redirects; the target calls
+
+
+@dataclass(frozen=True)
+class RogueCall:
+    """A site's erroneous first-party-context Topics call configuration.
+
+    ``caller_host`` is the host whose context issues the call — the page
+    itself for ROOT variants, a sibling/partner host for SIBLING/ENTITY.
+    ``fires_before_consent`` marks the subset that also fires on the
+    Before-Accept visit (feeding Table 1's D_BA !Allowed row).
+    """
+
+    variant: RogueVariant
+    caller_host: str
+    fires_before_consent: bool
+    call_count: int = 1
+
+
+class EcosystemView(Protocol):
+    """What page construction needs to know about third parties."""
+
+    def category_of(self, domain: str) -> ThirdPartyCategory: ...
+
+    def is_consent_gated(self, domain: str) -> bool: ...
+
+    def loads_preconsent(self, domain: str, site: str) -> bool: ...
+
+    def cmp_domain(self, cmp_name: str) -> str: ...
+
+
+@dataclass
+class Website:
+    """One ranked first-party website."""
+
+    domain: str
+    rank: int
+    tld: str
+    region: "object"  # repro.web.tlds.Region; typed loosely to avoid import cycle
+    reachable: bool = True
+    #: Unreachable sites that recover on a later attempt (flaky DNS or an
+    #: overloaded host timing out) — what a crawler retry pass wins back.
+    transient_failure: bool = False
+    redirect_to: str | None = None
+    banner: ConsentBanner | None = None
+    embedded: tuple[str, ...] = ()
+    rogue: RogueCall | None = None
+
+    @property
+    def host(self) -> str:
+        """The concrete host serving the landing page."""
+        return f"www.{self.domain}"
+
+    @property
+    def url(self) -> Url:
+        return https(self.host)
+
+    @property
+    def gates_before_consent(self) -> bool:
+        """Whether consent-requiring tags are held back pre-acceptance."""
+        return self.banner is not None and self.banner.gates_before_consent
+
+    @property
+    def cmp_name(self) -> str | None:
+        return self.banner.cmp if self.banner is not None else None
+
+    def build_page(self, ecosystem: EcosystemView) -> PageModel:
+        """Materialise the landing page's tags.
+
+        The same page serves both visit phases; per-tag ``gated`` flags
+        record which tags are withheld until acceptance.  A tag is gated
+        when the service requires consent and either (a) this site's
+        banner/CMP actually blocks scripts pre-acceptance, or (b) the
+        service's own stack defers loading until a consent signal exists
+        (its per-site pre-consent load coin came up tails).  Only ungated
+        tags are observable — and able to misbehave — in Before-Accept.
+        """
+        page = PageModel(url=self.url, banner=self.banner)
+        enforce = self.gates_before_consent
+
+        page.resources.append(ResourceTag(src=self.url.with_path("/static/site.css")))
+        page.resources.append(ResourceTag(src=self.url.with_path("/static/logo.png")))
+
+        if self.banner is not None and self.banner.cmp is not None:
+            cmp_host = f"cdn.{ecosystem.cmp_domain(self.banner.cmp)}"
+            page.scripts.append(
+                ScriptTag(
+                    src=https(cmp_host, "/cmp/stub.js"),
+                    kind=ScriptKind.CMP,
+                )
+            )
+
+        for tp_domain in self.embedded:
+            category = ecosystem.category_of(tp_domain)
+            gated = ecosystem.is_consent_gated(tp_domain) and (
+                enforce or not ecosystem.loads_preconsent(tp_domain, self.domain)
+            )
+            src = https(f"static.{tp_domain}", _script_path(category))
+            if category is ThirdPartyCategory.TAG_MANAGER:
+                rogue_here = (
+                    self.rogue is not None
+                    and self.rogue.variant is RogueVariant.ROOT_GTM
+                    and tp_domain == GTM_DOMAIN
+                )
+                page.scripts.append(
+                    ScriptTag(
+                        src=https("www.googletagmanager.com", "/gtm.js", "id=GTM-XXXX"),
+                        kind=ScriptKind.TAG_MANAGER,
+                        gated=False,
+                        rogue_topics_call=rogue_here,
+                        rogue_call_count=self.rogue.call_count if rogue_here else 1,
+                        rogue_fires_before_consent=(
+                            self.rogue.fires_before_consent if rogue_here else False
+                        ),
+                    )
+                )
+            elif category is ThirdPartyCategory.ADS:
+                page.scripts.append(
+                    ScriptTag(src=src, kind=ScriptKind.AD_TAG, gated=gated)
+                )
+            else:
+                page.scripts.append(
+                    ScriptTag(src=src, kind=ScriptKind.GENERIC, gated=gated)
+                )
+
+        if self.rogue is not None:
+            self._append_rogue_tags(page)
+        return page
+
+    def _append_rogue_tags(self, page: PageModel) -> None:
+        assert self.rogue is not None
+        variant = self.rogue.variant
+        if variant is RogueVariant.ROOT_LIB:
+            page.scripts.append(
+                ScriptTag(
+                    src=https("cdn.adwidgets-lib.com", "/widget/loader.js"),
+                    kind=ScriptKind.ROGUE_FIRST_PARTY,
+                    rogue_topics_call=True,
+                    rogue_call_count=self.rogue.call_count,
+                    rogue_fires_before_consent=self.rogue.fires_before_consent,
+                )
+            )
+        elif variant in (RogueVariant.SIBLING, RogueVariant.ENTITY):
+            inner = ScriptTag(
+                src=https(self.rogue.caller_host, "/embed/inner.js"),
+                kind=ScriptKind.ROGUE_FIRST_PARTY,
+                rogue_topics_call=True,
+                rogue_call_count=self.rogue.call_count,
+                rogue_fires_before_consent=self.rogue.fires_before_consent,
+            )
+            page.iframes.append(
+                IFrameTag(
+                    src=https(self.rogue.caller_host, "/embed/frame.html"),
+                    scripts=(inner,),
+                )
+            )
+        # ROOT_GTM is attached to the GTM tag in build_page; REDIRECT lives
+        # on the redirect target's own page, not here.
+
+
+def _script_path(category: ThirdPartyCategory) -> str:
+    return {
+        ThirdPartyCategory.ADS: "/tag/ads.js",
+        ThirdPartyCategory.ANALYTICS: "/collect/analytics.js",
+        ThirdPartyCategory.TAG_MANAGER: "/gtm.js",
+        ThirdPartyCategory.CMP: "/cmp/stub.js",
+        ThirdPartyCategory.CDN: "/lib/bundle.js",
+        ThirdPartyCategory.SOCIAL: "/widgets/social.js",
+        ThirdPartyCategory.WIDGET: "/widget/embed.js",
+    }[category]

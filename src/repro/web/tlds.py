@@ -1,0 +1,95 @@
+"""TLD universe and the paper's geographic regions.
+
+Figure 6 breaks questionable calls down by website top-level domain into
+five buckets: ``.com``, Japan (``.jp``), Russia (``.ru``), the European
+Union (30 TLDs of countries where the GDPR is in force) and everything
+else.  This module owns that bucketing plus the TLD pools the generator
+samples from.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Region(enum.Enum):
+    """The five TLD buckets of the paper's Figure 6."""
+
+    COM = "com"
+    JP = "jp"
+    RU = "ru"
+    EU = "EU"
+    OTHER = "Other"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: EU-country TLDs (GDPR in force).  The paper uses "30 TLDs for EU
+#: countries" — the 27 ccTLDs plus .eu and the EEA pair .no/.is.
+EU_TLDS: tuple[str, ...] = (
+    "at", "be", "bg", "hr", "cy", "cz", "dk", "ee", "fi", "fr",
+    "de", "gr", "hu", "ie", "it", "lv", "lt", "lu", "mt", "nl",
+    "pl", "pt", "ro", "sk", "si", "es", "se", "eu", "no", "is",
+)
+
+#: Non-EU, non-(.com/.jp/.ru) TLDs the generator samples for OTHER sites.
+OTHER_TLDS: tuple[str, ...] = (
+    "net", "org", "io", "co", "uk", "co.uk", "us", "ca", "au", "com.au",
+    "in", "co.in", "br", "com.br", "mx", "com.mx", "ar", "com.ar",
+    "tr", "com.tr", "ua", "com.ua", "kr", "co.kr", "za", "co.za",
+    "ch", "cn", "com.cn", "tv", "me", "info", "biz", "xyz", "app",
+    "dev", "online", "site", "store", "news",
+)
+
+_EU_SET = frozenset(EU_TLDS)
+
+
+def region_of_tld(tld: str) -> Region:
+    """Bucket a TLD into the paper's five regions.
+
+    Multi-label suffixes bucket by their final label unless the whole
+    suffix is an EU entry.
+
+    >>> region_of_tld("com")
+    <Region.COM: 'com'>
+    >>> region_of_tld("de")
+    <Region.EU: 'EU'>
+    >>> region_of_tld("co.jp")
+    <Region.JP: 'jp'>
+    >>> region_of_tld("co.uk")
+    <Region.OTHER: 'Other'>
+    """
+    lowered = tld.lower().lstrip(".")
+    if lowered in _EU_SET:
+        return Region.EU
+    final = lowered.rsplit(".", 1)[-1]
+    if final == "com":
+        return Region.COM
+    if final == "jp":
+        return Region.JP
+    if final == "ru":
+        return Region.RU
+    if final in _EU_SET:
+        return Region.EU
+    return Region.OTHER
+
+
+def region_of_domain(domain: str) -> Region:
+    """Region of a registrable domain, e.g. ``shop.co.jp`` → JP.
+
+    >>> region_of_domain("yandex.ru")
+    <Region.RU: 'ru'>
+    """
+    __, _, suffix = domain.partition(".")
+    return region_of_tld(suffix)
+
+
+#: TLDs the generator draws for each region, with sampling weights.
+REGION_TLD_POOLS: dict[Region, tuple[tuple[str, float], ...]] = {
+    Region.COM: (("com", 1.0),),
+    Region.JP: (("jp", 0.6), ("co.jp", 0.3), ("ne.jp", 0.1)),
+    Region.RU: (("ru", 0.9), ("com.ru", 0.1)),
+    Region.EU: tuple((tld, 1.0) for tld in EU_TLDS),
+    Region.OTHER: tuple((tld, 1.0) for tld in OTHER_TLDS),
+}

@@ -1,0 +1,89 @@
+"""Vantage points: where the crawler appears to browse from.
+
+Paper §6: "our experiments were conducted from a single location in
+Europe, and we cannot rule out the possibility that websites may exhibit
+different behavior based on a user's location."  This module models that
+follow-up experiment: websites geo-target their consent UIs, so the same
+world crawled from a non-EU vantage shows fewer banners (many sites only
+raise GDPR banners for European visitors), which cascades into the
+After-Accept population and the questionable-call figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.tlds import Region
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One crawl location's effect on consent-UI visibility.
+
+    ``banner_multiplier`` scales each region's banner probability: a US
+    visitor still sees banners on EU-focused sites (they often show them
+    to everyone) but far fewer on .com/.jp sites that geo-fence their
+    GDPR UI.
+    """
+
+    name: str
+    banner_multiplier: dict[Region, float]
+    #: Whether the crawler's jurisdiction makes pre-consent processing a
+    #: GDPR question at all (affects interpretation, not mechanics).
+    gdpr_protected: bool
+
+    def scaled_banner_probability(
+        self, base: dict[Region, float]
+    ) -> dict[Region, float]:
+        return {
+            region: min(1.0, probability * self.banner_multiplier.get(region, 1.0))
+            for region, probability in base.items()
+        }
+
+
+#: The paper's setup: a European visitor, GDPR in force.
+EU_VANTAGE = VantagePoint(
+    name="eu",
+    banner_multiplier={region: 1.0 for region in Region},
+    gdpr_protected=True,
+)
+
+#: A US visitor: GDPR banners are widely geo-fenced away outside Europe.
+US_VANTAGE = VantagePoint(
+    name="us",
+    banner_multiplier={
+        Region.COM: 0.50,
+        Region.EU: 0.90,
+        Region.RU: 0.70,
+        Region.JP: 0.55,
+        Region.OTHER: 0.55,
+    },
+    gdpr_protected=False,
+)
+
+#: A visitor from a non-EU jurisdiction without a CCPA analogue.
+OTHER_VANTAGE = VantagePoint(
+    name="other",
+    banner_multiplier={
+        Region.COM: 0.40,
+        Region.EU: 0.85,
+        Region.RU: 0.60,
+        Region.JP: 0.45,
+        Region.OTHER: 0.50,
+    },
+    gdpr_protected=False,
+)
+
+VANTAGES: dict[str, VantagePoint] = {
+    vantage.name: vantage for vantage in (EU_VANTAGE, US_VANTAGE, OTHER_VANTAGE)
+}
+
+
+def vantage_by_name(name: str) -> VantagePoint:
+    """Lookup by name; raises ``KeyError`` with the known options."""
+    try:
+        return VANTAGES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown vantage {name!r}; known: {sorted(VANTAGES)}"
+        ) from None

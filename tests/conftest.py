@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+World generation and crawling are the expensive pieces, so a small world
+and its campaign results are built once per session and shared read-only
+across the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.campaign import CrawlCampaign, CrawlResult
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import StudyResult, run_full_study
+from repro.web.config import WorldConfig
+from repro.web.generator import SyntheticWeb, WebGenerator
+
+#: Reduced-world size used across the suite — large enough that every
+#: named third party and rogue variant appears, small enough to be fast.
+SMALL_WORLD_SITES = 6_000
+
+
+@pytest.fixture(scope="session")
+def small_config() -> WorldConfig:
+    return WorldConfig.small(SMALL_WORLD_SITES, seed=1)
+
+
+@pytest.fixture(scope="session")
+def world(small_config: WorldConfig) -> SyntheticWeb:
+    return WebGenerator(small_config).generate()
+
+
+@pytest.fixture(scope="session")
+def crawl(world: SyntheticWeb) -> CrawlResult:
+    return CrawlCampaign(world, corrupt_allowlist=True).run()
+
+
+@pytest.fixture(scope="session")
+def study(small_config: WorldConfig, world: SyntheticWeb, crawl: CrawlResult) -> StudyResult:
+    config = ExperimentConfig(world=small_config)
+    return run_full_study(config, world=world, crawl=crawl)
+
+
+@pytest.fixture(scope="session")
+def healthy_crawl(world: SyntheticWeb) -> CrawlResult:
+    """A campaign run with the allow-list intact (the ablation setup)."""
+    return CrawlCampaign(world, corrupt_allowlist=False).run()

@@ -1,0 +1,150 @@
+"""Tests for the ad-serving substrate (inventory, server, targeting study)."""
+
+import pytest
+
+from repro.adserver.experiment import TargetingStudy, render_targeting
+from repro.adserver.inventory import AdCampaign, Inventory
+from repro.adserver.server import AdServer
+from repro.browser.topics.types import Topic
+from repro.taxonomy.tree import load_default_taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return load_default_taxonomy()
+
+
+@pytest.fixture(scope="module")
+def inventory(taxonomy):
+    return Inventory.generate(taxonomy, seed=3)
+
+
+def topic(tid):
+    return Topic(topic_id=tid, taxonomy_version="2", model_version="1")
+
+
+class TestInventory:
+    def test_every_root_covered(self, taxonomy, inventory):
+        for root in taxonomy.roots():
+            assert inventory.matching(root.topic_id), root.path
+
+    def test_matching_respects_hierarchy(self, taxonomy, inventory):
+        # A campaign targeting a root matches requests for its leaves.
+        root = taxonomy.by_path("/Sports")
+        leaf = taxonomy.children(root.topic_id)[0]
+        matches = inventory.matching(leaf.topic_id)
+        assert matches
+        target_ids = {c.target_topic for c in matches}
+        ancestors = {n.topic_id for n in taxonomy.ancestors(leaf.topic_id)}
+        ancestors.add(leaf.topic_id)
+        assert target_ids <= ancestors
+
+    def test_matching_best_paying_first(self, inventory, taxonomy):
+        matches = inventory.matching(taxonomy.roots()[0].topic_id)
+        cpms = [c.cpm for c in matches]
+        assert cpms == sorted(cpms, reverse=True)
+
+    def test_no_cross_category_matches(self, taxonomy, inventory):
+        sports = taxonomy.by_path("/Sports")
+        for campaign in inventory.matching(sports.topic_id):
+            assert taxonomy.root_of(campaign.target_topic).path == "/Sports"
+
+    def test_house_campaigns_exist_and_cheap(self, inventory):
+        house = inventory.house_campaigns()
+        assert house
+        assert all(not c.targeted for c in house)
+        assert max(c.cpm for c in house) < 2.0
+
+    def test_generation_deterministic(self, taxonomy):
+        a = Inventory.generate(taxonomy, seed=9)
+        b = Inventory.generate(taxonomy, seed=9)
+        assert a.house_campaigns() == b.house_campaigns()
+        assert len(a) == len(b)
+
+
+class TestAdServer:
+    def test_topics_request_targets(self, inventory, taxonomy):
+        server = AdServer(inventory)
+        sports = taxonomy.by_path("/Sports").topic_id
+        response = server.provide_ad_for_topics([topic(sports)])
+        assert response.targeted
+        assert taxonomy.root_of(response.campaign.target_topic).topic_id == sports
+        assert response.signal == "topics"
+
+    def test_empty_topics_serves_house(self, inventory):
+        server = AdServer(inventory)
+        response = server.provide_ad_for_topics([])
+        assert not response.targeted
+        assert response.campaign.advertiser == "house.example"
+
+    def test_untargeted(self, inventory):
+        server = AdServer(inventory)
+        assert not server.provide_ad_untargeted().targeted
+
+    def test_profile_request(self, inventory, taxonomy):
+        server = AdServer(inventory)
+        shopping = taxonomy.by_path("/Shopping").topic_id
+        response = server.provide_ad_for_profile([shopping])
+        assert response.targeted
+        assert response.signal == "cookie-profile"
+
+    def test_best_topic_wins_auction(self, inventory, taxonomy):
+        server = AdServer(inventory)
+        roots = [r.topic_id for r in taxonomy.roots()[:5]]
+        response = server.provide_ad_for_topics([topic(t) for t in roots])
+        best_available = max(
+            inventory.matching(t)[0].cpm for t in roots if inventory.matching(t)
+        )
+        assert response.campaign.cpm == best_available
+
+    def test_revenue_bookkeeping(self, inventory, taxonomy):
+        server = AdServer(inventory)
+        server.provide_ad_for_topics([topic(taxonomy.roots()[0].topic_id)])
+        server.provide_ad_untargeted()
+        revenue = server.revenue_by_signal()
+        assert set(revenue) == {"topics", "none"}
+        assert revenue["topics"] > revenue["none"]
+
+    def test_house_required(self, taxonomy):
+        bare = Inventory(taxonomy, [])
+        with pytest.raises(RuntimeError):
+            AdServer(bare).provide_ad_untargeted()
+
+
+class TestTargetingStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return TargetingStudy(population_size=40, epochs=4).run()
+
+    def test_ordering_cookie_topics_none(self, result):
+        # The comparison §3's A/B tests are running: cookies (full
+        # profile) beat Topics, Topics beat nothing.
+        assert result.cookie.relevance > result.topics.relevance
+        assert result.topics.relevance > result.untargeted.relevance
+
+    def test_cookie_profile_near_perfect(self, result):
+        assert result.cookie.relevance > 0.9
+
+    def test_topics_substantially_useful(self, result):
+        assert result.topics.relevance > 0.35
+        assert result.topics_substitution_ratio > 0.4
+
+    def test_untargeted_worthless(self, result):
+        assert result.untargeted.relevance == 0.0
+        assert result.untargeted.mean_cpm < result.topics.mean_cpm
+
+    def test_impression_counts(self, result):
+        assert (
+            result.cookie.impressions
+            == result.topics.impressions
+            == result.untargeted.impressions
+            == 40
+        )
+
+    def test_deterministic(self, result):
+        rerun = TargetingStudy(population_size=40, epochs=4).run()
+        assert rerun.topics.relevance == result.topics.relevance
+
+    def test_render(self, result):
+        text = render_targeting(result)
+        assert "cookie-profile" in text and "retains" in text

@@ -1,0 +1,149 @@
+"""Tests for the §4 anomalous-usage analysis on the shared study."""
+
+from repro.analysis.anomalous import (
+    ATTRIBUTION_REDIRECT,
+    ATTRIBUTION_SAME_ENTITY,
+    ATTRIBUTION_SAME_SLD,
+    ATTRIBUTION_UNEXPLAINED,
+    analyze_anomalous,
+    anomalous_calls,
+    attribute_call,
+)
+from repro.crawler.dataset import CallRecord, VisitRecord
+from repro.web.entities import EntityDatabase
+
+
+def record_for(domain, final=None, calls=()):
+    final = final or domain
+    return VisitRecord(
+        rank=1,
+        domain=domain,
+        final_domain=final,
+        url=f"https://www.{domain}/",
+        final_url=f"https://www.{final}/",
+        phase="after-accept",
+        banner_present=False,
+        banner_language=None,
+        accept_clicked=False,
+        cmp=None,
+        third_parties=(),
+        calls=tuple(calls),
+    )
+
+
+def call_by(caller, site):
+    return CallRecord(
+        caller=caller,
+        caller_host=f"www.{caller}",
+        site=site,
+        call_type="javascript",
+        at=0,
+        decision="allowed-database-corrupt",
+        topics_returned=0,
+    )
+
+
+class TestAttribution:
+    def test_same_site(self):
+        record = record_for("foo.com")
+        assert (
+            attribute_call(record, call_by("foo.com", "foo.com"), EntityDatabase())
+            == ATTRIBUTION_SAME_SLD
+        )
+
+    def test_sibling_domain(self):
+        # The paper's www.foo.com / ad.foo.net example.
+        record = record_for("foo.com")
+        assert (
+            attribute_call(record, call_by("foo.net", "foo.com"), EntityDatabase())
+            == ATTRIBUTION_SAME_SLD
+        )
+
+    def test_same_entity(self):
+        # The paper's windows.com / microsoft.com example.
+        record = record_for("windows.com")
+        assert (
+            attribute_call(
+                record, call_by("microsoft.com", "windows.com"), EntityDatabase()
+            )
+            == ATTRIBUTION_SAME_ENTITY
+        )
+
+    def test_redirect_target(self):
+        entities = EntityDatabase(groups={"Org": ["foo.com", "foo-portal.com"]})
+        record = record_for("foo.com", final="foo-portal.com")
+        assert (
+            attribute_call(record, call_by("foo-portal.com", "foo.com"), entities)
+            == ATTRIBUTION_REDIRECT
+        )
+
+    def test_redirect_without_entity_data_still_attributed(self):
+        record = record_for("foo.com", final="bar.com")
+        assert (
+            attribute_call(record, call_by("bar.com", "foo.com"), EntityDatabase())
+            == ATTRIBUTION_REDIRECT
+        )
+
+    def test_unexplained(self):
+        record = record_for("foo.com")
+        assert (
+            attribute_call(record, call_by("mystery.com", "foo.com"), EntityDatabase())
+            == ATTRIBUTION_UNEXPLAINED
+        )
+
+
+class TestStudyReport:
+    def test_same_sld_dominates(self, study):
+        # Paper: 72% of anomalous calls share the site's SLD.
+        fraction = study.anomalous.attribution_fraction(ATTRIBUTION_SAME_SLD)
+        assert 0.62 <= fraction <= 0.82
+
+    def test_everything_attributed(self, study):
+        # The paper's manual check explained every case.
+        assert study.anomalous.attribution_counts.get(ATTRIBUTION_UNEXPLAINED, 0) == 0
+
+    def test_all_javascript(self, study):
+        # Paper: "all these bizarre calls use the JavaScript
+        # browsingTopics() function".
+        assert study.anomalous.javascript_fraction == 1.0
+
+    def test_gtm_on_95_percent(self, study):
+        assert 0.90 <= study.anomalous.gtm_site_fraction <= 0.99
+
+    def test_calls_exceed_callers(self, study):
+        # Some rogue tags call twice per page (the paper logs repeats).
+        assert study.anomalous.total_calls > study.anomalous.distinct_callers
+
+    def test_caller_count_tracks_affected_sites(self, study):
+        # Nearly every anomalous site contributes exactly one unique CP.
+        assert (
+            abs(study.anomalous.distinct_callers - study.anomalous.affected_sites)
+            <= 0.05 * study.anomalous.affected_sites
+        )
+
+    def test_anomalous_callers_not_allowed(self, crawl):
+        calls = anomalous_calls(crawl.d_aa, crawl.allowed_domains, crawl.survey)
+        assert all(
+            call.caller not in crawl.allowed_domains for _, call in calls
+        )
+
+    def test_healthy_allowlist_ablation(self, healthy_crawl, world):
+        # With the allow-list intact, the browser blocks every anomalous
+        # call — the paper's observability argument in reverse.
+        report = analyze_anomalous(
+            healthy_crawl.d_aa,
+            healthy_crawl.allowed_domains,
+            healthy_crawl.survey,
+            world.entities,
+        )
+        assert report.total_calls == 0
+
+    def test_empty_dataset(self, world, crawl):
+        from repro.crawler.dataset import Dataset
+
+        report = analyze_anomalous(
+            Dataset("empty"), crawl.allowed_domains, crawl.survey, world.entities
+        )
+        assert report.total_calls == 0
+        assert report.gtm_site_fraction == 0.0
+        assert report.attribution_fraction(ATTRIBUTION_SAME_SLD) == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the call-type breakdown analysis."""
+
+import pytest
+
+from repro.analysis.calltypes import (
+    CallTypeMix,
+    aggregate_mix,
+    call_type_mix_by_caller,
+    legitimate_vs_anomalous_mix,
+    render_call_types,
+)
+from repro.browser.topics.types import ApiCallType
+
+
+class TestCallTypeMix:
+    def test_shares(self):
+        mix = CallTypeMix("x", {"javascript": 6, "fetch": 3, "iframe": 1})
+        assert mix.total == 10
+        assert mix.share(ApiCallType.JAVASCRIPT) == 0.6
+        assert mix.share(ApiCallType.IFRAME) == 0.1
+        assert mix.dominant == "javascript"
+
+    def test_empty(self):
+        mix = CallTypeMix("x", {})
+        assert mix.total == 0
+        assert mix.share(ApiCallType.FETCH) == 0.0
+        assert mix.dominant == "none"
+
+
+class TestDatasetAnalysis:
+    def test_per_caller_sorted_by_volume(self, crawl):
+        mixes = call_type_mix_by_caller(crawl.d_aa)
+        totals = [mix.total for mix in mixes]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_min_calls_filter(self, crawl):
+        mixes = call_type_mix_by_caller(crawl.d_aa, min_calls=50)
+        assert all(mix.total >= 50 for mix in mixes)
+
+    def test_doubleclick_fetch_heavy(self, crawl):
+        # The catalogue gives doubleclick a 70% fetch mix.
+        mixes = call_type_mix_by_caller(crawl.d_aa)
+        dbl = next(m for m in mixes if m.caller == "doubleclick.net")
+        assert dbl.share(ApiCallType.FETCH) > 0.5
+
+    def test_teads_iframe_heavy(self, crawl):
+        mixes = call_type_mix_by_caller(crawl.d_aa, min_calls=20)
+        teads = next((m for m in mixes if m.caller == "teads.tv"), None)
+        if teads is None:
+            pytest.skip("teads below threshold at this scale")
+        assert teads.share(ApiCallType.IFRAME) > 0.3
+
+    def test_caller_filter(self, crawl):
+        only = {"criteo.com"}
+        mixes = call_type_mix_by_caller(crawl.d_aa, callers=only, min_calls=1)
+        assert [m.caller for m in mixes] == ["criteo.com"]
+
+    def test_aggregate_counts_everything(self, crawl):
+        mix = aggregate_mix(crawl.d_aa)
+        assert mix.total == sum(len(r.calls) for r in crawl.d_aa)
+
+    def test_legit_vs_anomalous_contrast(self, crawl):
+        legit, anomalous = legitimate_vs_anomalous_mix(
+            crawl.d_aa, crawl.allowed_domains, crawl.survey
+        )
+        # §4: anomalous calls are 100% JavaScript; legitimate callers use
+        # all three surfaces.
+        assert anomalous.share(ApiCallType.JAVASCRIPT) == 1.0
+        assert legit.share(ApiCallType.FETCH) > 0.1
+        assert legit.share(ApiCallType.IFRAME) > 0.02
+
+    def test_render(self, crawl):
+        text = render_call_types(call_type_mix_by_caller(crawl.d_aa)[:5])
+        assert "fetch" in text and "iframe" in text

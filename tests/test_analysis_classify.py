@@ -1,0 +1,87 @@
+"""Tests for caller classification and Table 1 (shared-study validation)."""
+
+from repro.analysis.classify import (
+    CallerStatus,
+    build_table1,
+    callers_by_status,
+    classify_caller,
+)
+from repro.web.thirdparty import DISTILLERY_DOMAIN
+
+
+class TestClassifyCaller:
+    def test_all_four_cells(self, crawl):
+        survey = crawl.survey
+        allowed = crawl.allowed_domains
+        attested_allowed = next(
+            d for d in allowed if survey.is_attested(d)
+        )
+        unattested_allowed = next(
+            d for d in allowed if not survey.is_attested(d)
+        )
+        assert (
+            classify_caller(attested_allowed, allowed, survey)
+            is CallerStatus.ALLOWED_ATTESTED
+        )
+        assert (
+            classify_caller(unattested_allowed, allowed, survey)
+            is CallerStatus.ALLOWED_UNATTESTED
+        )
+        assert (
+            classify_caller(DISTILLERY_DOMAIN, allowed, survey)
+            is CallerStatus.NOT_ALLOWED_ATTESTED
+        )
+        assert (
+            classify_caller("random-site.example", allowed, survey)
+            is CallerStatus.NOT_ALLOWED
+        )
+
+    def test_only_allowed_attested_legitimate(self):
+        assert CallerStatus.ALLOWED_ATTESTED.is_legitimate
+        for status in CallerStatus:
+            if status is not CallerStatus.ALLOWED_ATTESTED:
+                assert not status.is_legitimate
+
+
+class TestTable1:
+    def test_allowlist_rows(self, study, small_config):
+        assert study.table1.allowed_total == small_config.allowed_total
+        assert study.table1.allowed_unattested == small_config.unattested_allowed
+
+    def test_distillery_is_the_not_allowed_attested_cp(self, study):
+        assert study.table1.aa_not_allowed_attested == 1
+        assert study.table1.aa_not_allowed_attested_callers == (DISTILLERY_DOMAIN,)
+
+    def test_active_cp_count_near_47(self, study):
+        # At reduced scale a couple of tiny CPs may go unseen.
+        assert 40 <= study.table1.aa_allowed_attested <= 47
+
+    def test_ba_subset_of_aa_for_legit(self, crawl, study):
+        # Every legit CP calling before consent also calls after somewhere.
+        assert study.table1.ba_allowed_attested <= study.table1.aa_allowed_attested
+
+    def test_anomalous_cps_scale_with_rogue_rate(self, study, crawl, small_config):
+        expected = len(crawl.d_aa) * small_config.rogue_rate
+        assert 0.7 * expected <= study.table1.aa_not_allowed <= 1.3 * expected
+
+    def test_rows_layout(self, study):
+        rows = study.table1.as_rows()
+        assert len(rows) == 7
+        assert rows[0][1] == "Allowed"
+        assert [r[0] for r in rows] == ["", "", "D_AA", "D_AA", "D_AA", "D_BA", "D_BA"]
+
+    def test_grouping_consistency(self, crawl, study):
+        grouped = callers_by_status(
+            crawl.d_aa, crawl.allowed_domains, crawl.survey
+        )
+        total = sum(len(cps) for cps in grouped.values())
+        assert total == len(crawl.d_aa.calling_parties())
+        assert len(grouped[CallerStatus.ALLOWED_ATTESTED]) == (
+            study.table1.aa_allowed_attested
+        )
+
+    def test_table_from_scratch_matches_study(self, crawl, study):
+        table = build_table1(
+            crawl.d_ba, crawl.d_aa, crawl.allowed_domains, crawl.survey
+        )
+        assert table == study.table1

@@ -1,0 +1,115 @@
+"""Tests for the enrolment timeline analysis and the text report module."""
+
+import datetime
+
+from repro.analysis import report as report_module
+from repro.analysis.enrollment import (
+    EnrollmentTimeline,
+    enrollment_timeline,
+    migration_adoption,
+)
+from repro.crawler.wellknown import AttestationProbe, AttestationSurvey
+
+
+def survey_of(*probes: AttestationProbe) -> AttestationSurvey:
+    return AttestationSurvey(probes)
+
+
+class TestEnrollmentTimeline:
+    def test_study_first_date_matches_paper(self, study):
+        # §3: "Enrolments kicked off in June 2023, the first attestation
+        # being on the 16th."
+        assert study.enrollment.first_date == datetime.date(2023, 6, 16)
+
+    def test_study_pace_low(self, study):
+        # "each month, approximately a dozen new services obtain the
+        # attestation" — ours runs at ~16/month to reach 193 by May 2024.
+        assert 10 <= study.enrollment.mean_per_month <= 22
+
+    def test_study_total_counts_attested(self, study, small_config):
+        # 181 attested-and-allowed plus distillery.com.
+        expected = small_config.allowed_total - small_config.unattested_allowed + 1
+        assert study.enrollment.total == expected
+
+    def test_distillery_month(self, study):
+        assert study.enrollment.count_in(2023, 11) >= 1
+
+    def test_empty_survey(self):
+        timeline = enrollment_timeline(survey_of())
+        assert timeline.total == 0
+        assert timeline.first_date is None
+        assert timeline.mean_per_month == 0.0
+
+    def test_malformed_dates_skipped(self):
+        timeline = enrollment_timeline(
+            survey_of(
+                AttestationProbe("a.com", True, True, issued="2023-06-16"),
+                AttestationProbe("b.com", True, True, issued="not-a-date"),
+            )
+        )
+        assert timeline.total == 1
+
+    def test_monthly_buckets(self):
+        timeline = enrollment_timeline(
+            survey_of(
+                AttestationProbe("a.com", True, True, issued="2023-06-16"),
+                AttestationProbe("b.com", True, True, issued="2023-06-20"),
+                AttestationProbe("c.com", True, True, issued="2023-08-01"),
+            )
+        )
+        assert timeline.count_in(2023, 6) == 2
+        assert timeline.count_in(2023, 7) == 0
+        assert timeline.count_in(2023, 8) == 1
+        assert timeline.mean_per_month == 1.0  # 3 over 3 months
+
+    def test_migration_adoption_pre_migration(self, study):
+        # The crawl ends well before 2024-10-17, so no file carries the
+        # new field yet.
+        assert migration_adoption(study.crawl.survey) == 0.0
+
+    def test_migration_adoption_post_migration(self, world):
+        from repro.attestation.registry import MIGRATION_AT
+        from repro.crawler.wellknown import survey_attestations
+
+        attested = sorted(world.registry.attested_domains())[:20]
+        late_survey = survey_attestations(world, attested, MIGRATION_AT + 1)
+        assert migration_adoption(late_survey) == 1.0
+
+
+class TestReportRendering:
+    def test_table1(self, study):
+        text = report_module.render_table1(study.table1)
+        assert "Allowed" in text and "D_AA" in text and "D_BA" in text
+        assert "distillery.com" in text
+
+    def test_figure2(self, study):
+        text = report_module.render_figure2(study.fig2)
+        assert "google-analytics.com" in text
+        assert "present" in text
+
+    def test_figure3(self, study):
+        text = report_module.render_figure3(study.fig3)
+        assert "%" in text and "enabled" in text
+
+    def test_figure5(self, study):
+        text = report_module.render_figure5(study.fig5)
+        assert "questionable" in text
+
+    def test_figure6(self, study):
+        text = report_module.render_figure6(study.fig6)
+        for region in ("com", "jp", "ru", "EU", "Other"):
+            assert region in text
+
+    def test_figure7(self, study):
+        text = report_module.render_figure7(study.fig7)
+        assert "HubSpot" in text and "lift" in text and "(average)" in text
+
+    def test_anomalous(self, study):
+        text = report_module.render_anomalous(study.anomalous)
+        assert "JavaScript" in text and "GTM" in text
+        assert "same-second-level-domain" in text
+
+    def test_enrollment(self, study):
+        text = report_module.render_enrollment(study.enrollment)
+        assert "2023-06-16" in text
+        assert "mean per month" in text

@@ -1,0 +1,171 @@
+"""Tests for the figure pipelines (2, 3, 5, 6, 7) on the shared study."""
+
+import pytest
+
+from repro.analysis.abtest import figure3
+from repro.analysis.cmp_analysis import average_questionable_rate, figure7
+from repro.analysis.pervasiveness import (
+    figure2,
+    legitimate_callers,
+    share_of_sites_with_call,
+)
+from repro.analysis.questionable import figure5, figure6
+from repro.web.tlds import Region
+
+
+class TestFigure2:
+    def test_top15_by_presence(self, study):
+        assert len(study.fig2) == 15
+        presences = [row.present_on for row in study.fig2]
+        assert presences == sorted(presences, reverse=True)
+
+    def test_google_analytics_present_but_silent(self, study):
+        ga = next(r for r in study.fig2 if r.caller == "google-analytics.com")
+        assert ga.present_on > 0
+        assert ga.called_on == 0
+
+    def test_bing_silent(self, study):
+        bing = next(r for r in study.fig2 if r.caller == "bing.com")
+        assert bing.called_on == 0
+
+    def test_doubleclick_calls_about_a_third(self, study):
+        dbl = next(r for r in study.fig2 if r.caller == "doubleclick.net")
+        assert 0.25 <= dbl.call_share <= 0.42
+
+    def test_called_never_exceeds_present(self, study):
+        for row in study.fig2:
+            assert row.called_on <= row.present_on
+
+    def test_only_legitimate_parties(self, study, crawl):
+        legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+        assert all(row.caller in legit for row in study.fig2)
+
+    def test_share_of_sites_with_call_band(self, study):
+        # Paper: 45% ("one website every two").
+        assert 0.35 <= study.sites_with_call_share <= 0.60
+
+    def test_share_counts_only_given_callers(self, crawl):
+        none_share = share_of_sites_with_call(crawl.d_aa, frozenset())
+        assert none_share == 0.0
+        all_share = share_of_sites_with_call(crawl.d_aa, None)
+        assert all_share > 0
+
+
+class TestFigure3:
+    def test_rates_descending(self, study):
+        rates = [row.enabled_percent for row in study.fig3]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_authorizedvault_near_always(self, study):
+        row = next(r for r in study.fig3 if r.caller == "authorizedvault.com")
+        assert row.enabled_percent > 88
+
+    def test_criteo_near_75(self, study):
+        row = next(r for r in study.fig3 if r.caller == "criteo.com")
+        assert 68 <= row.enabled_percent <= 82
+
+    def test_rate_clusters_present(self, study):
+        # The paper reads clusters at ~100/75/66/50/33/25% as A/B splits.
+        rates = sorted(row.enabled_percent for row in study.fig3)
+        assert rates[0] < 45 and rates[-1] > 88
+
+    def test_min_presence_filter(self, crawl):
+        rows = figure3(
+            crawl.d_aa, crawl.allowed_domains, crawl.survey, min_presence=100
+        )
+        assert all(row.present_on >= 100 for row in rows)
+
+    def test_enabled_percent_bounds(self, study):
+        for row in study.fig3:
+            assert 0.0 <= row.enabled_percent <= 100.0
+
+
+class TestFigure5:
+    def test_yandex_tops_questionable(self, study):
+        # Paper: "yandex.com comes first".
+        assert study.fig5[0].caller in ("yandex.com", "criteo.com")
+        callers = [row.caller for row in study.fig5]
+        assert "yandex.com" in callers[:2]
+
+    def test_doubleclick_absent(self, study):
+        # Paper: "doubleclick.net ... does not perform any call in
+        # Before-Accept".
+        assert all(row.caller != "doubleclick.net" for row in study.fig5)
+
+    def test_counts_descending(self, study):
+        counts = [row.websites for row in study.fig5]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_only_legitimate_parties(self, study, crawl):
+        legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+        assert all(row.caller in legit for row in study.fig5)
+
+
+class TestFigure6:
+    def test_defaults_to_top4(self, study):
+        assert len(study.fig6) == 4
+        fig5_top4 = [row.caller for row in study.fig5[:4]]
+        assert [row.caller for row in study.fig6] == fig5_top4
+
+    def test_yandex_concentrated_in_ru(self, study):
+        yandex = next((r for r in study.fig6 if r.caller == "yandex.com"), None)
+        if yandex is None:
+            pytest.skip("yandex not in top-4 at this scale")
+        assert yandex.present[Region.RU] > yandex.present[Region.EU]
+        assert yandex.present[Region.JP] == 0
+
+    def test_enabled_percent_bounds(self, study):
+        for row in study.fig6:
+            for region in Region:
+                assert 0.0 <= row.enabled_percent(region) <= 100.0
+
+    def test_explicit_caller_selection(self, crawl):
+        rows = figure6(
+            crawl.d_ba,
+            crawl.allowed_domains,
+            crawl.survey,
+            callers=["criteo.com"],
+        )
+        assert len(rows) == 1 and rows[0].caller == "criteo.com"
+
+    def test_eu_questionable_calls_exist(self, study):
+        # Paper: "We even observe questionable API calls also for websites
+        # in the EU, where the GDPR definitively applies."
+        assert any(row.called.get(Region.EU, 0) > 0 for row in study.fig6)
+
+
+class TestFigure7:
+    def test_catalogue_order(self, study, world):
+        assert [row.name for row in study.fig7] == world.cmps.names()
+
+    def test_probabilities_bounded(self, study):
+        for row in study.fig7:
+            assert 0.0 <= row.p_cmp <= 1.0
+            assert 0.0 <= row.p_cmp_given_questionable <= 1.0
+            assert 0.0 <= row.p_questionable_given_cmp <= 1.0
+
+    def test_p_cmp_sums_below_one(self, study):
+        assert sum(row.p_cmp for row in study.fig7) < 1.0
+
+    def test_onetrust_most_deployed(self, study):
+        onetrust = next(r for r in study.fig7 if r.name == "OneTrust")
+        assert all(onetrust.p_cmp >= r.p_cmp for r in study.fig7)
+
+    def test_hubspot_overrepresented(self, study):
+        hubspot = next(r for r in study.fig7 if r.name == "HubSpot")
+        assert hubspot.lift > 1.5
+
+    def test_hubspot_conditional_above_average(self, study):
+        hubspot = next(r for r in study.fig7 if r.name == "HubSpot")
+        average = average_questionable_rate(study.fig7)
+        assert hubspot.p_questionable_given_cmp > 1.5 * average
+
+    def test_liveramp_also_bad(self, study):
+        liveramp = next(r for r in study.fig7 if r.name == "LiveRamp")
+        ordinary = [
+            r.p_questionable_given_cmp
+            for r in study.fig7
+            if r.name not in ("HubSpot", "LiveRamp") and r.sites_total > 20
+        ]
+        mean_ordinary = sum(ordinary) / len(ordinary)
+        assert liveramp.p_questionable_given_cmp > 1.5 * mean_ordinary

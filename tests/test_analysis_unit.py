@@ -1,0 +1,156 @@
+"""Exact-arithmetic unit tests for the figure pipelines.
+
+The study-level tests validate shapes against the simulation; these pin
+the *formulas* with tiny hand-built datasets where every number is known.
+"""
+
+import pytest
+
+from repro.analysis.abtest import figure3
+from repro.analysis.cmp_analysis import average_questionable_rate, figure7
+from repro.analysis.pervasiveness import figure2, share_of_sites_with_call
+from repro.analysis.questionable import figure5, figure6
+from repro.crawler.dataset import CallRecord, Dataset, VisitRecord
+from repro.crawler.wellknown import AttestationProbe, AttestationSurvey
+from repro.web.cmp import CmpCatalogue
+from repro.web.tlds import Region
+
+ALLOWED = frozenset({"cp-a.com", "cp-b.com"})
+SURVEY = AttestationSurvey(
+    [
+        AttestationProbe("cp-a.com", True, True, issued="2023-07-01"),
+        AttestationProbe("cp-b.com", True, True, issued="2023-08-01"),
+    ]
+)
+
+
+def call(caller, site, call_type="javascript"):
+    return CallRecord(
+        caller=caller,
+        caller_host=f"tags.{caller}",
+        site=site,
+        call_type=call_type,
+        at=0,
+        decision="allowed-enrolled",
+        topics_returned=0,
+    )
+
+
+def record(domain, third_parties=(), calls=(), cmp=None):
+    return VisitRecord(
+        rank=1,
+        domain=domain,
+        final_domain=domain,
+        url=f"https://www.{domain}/",
+        final_url=f"https://www.{domain}/",
+        phase="before-accept",
+        banner_present=cmp is not None,
+        banner_language="en" if cmp else None,
+        accept_clicked=False,
+        cmp=cmp,
+        third_parties=tuple(third_parties),
+        calls=tuple(calls),
+    )
+
+
+@pytest.fixture
+def dataset() -> Dataset:
+    return Dataset(
+        "unit",
+        [
+            # cp-a present on 3 sites, calls on 2 of them.
+            record("s1.com", ["cp-a.com"], [call("cp-a.com", "s1.com")]),
+            record("s2.com", ["cp-a.com"], [call("cp-a.com", "s2.com")]),
+            record("s3.com", ["cp-a.com"]),
+            # cp-b present on 2 sites, calls on 1 (twice on the same page).
+            record(
+                "s4.ru",
+                ["cp-b.com"],
+                [call("cp-b.com", "s4.ru"), call("cp-b.com", "s4.ru")],
+            ),
+            record("s5.de", ["cp-b.com"]),
+            # a site with no parties at all.
+            record("s6.com"),
+        ],
+    )
+
+
+class TestFigure2Exact:
+    def test_counts(self, dataset):
+        rows = {r.caller: r for r in figure2(dataset, ALLOWED, SURVEY)}
+        assert rows["cp-a.com"].present_on == 3
+        assert rows["cp-a.com"].called_on == 2
+        assert rows["cp-b.com"].present_on == 2
+        assert rows["cp-b.com"].called_on == 1
+
+    def test_share(self, dataset):
+        rows = {r.caller: r for r in figure2(dataset, ALLOWED, SURVEY)}
+        assert rows["cp-a.com"].call_share == pytest.approx(2 / 3)
+
+    def test_share_of_sites(self, dataset):
+        # 3 of 6 sites have a call.
+        assert share_of_sites_with_call(dataset, ALLOWED) == pytest.approx(0.5)
+
+
+class TestFigure3Exact:
+    def test_enabled_percent(self, dataset):
+        rows = {
+            r.caller: r
+            for r in figure3(dataset, ALLOWED, SURVEY, min_presence=1)
+        }
+        assert rows["cp-a.com"].enabled_percent == pytest.approx(100 * 2 / 3)
+        assert rows["cp-b.com"].enabled_percent == pytest.approx(50.0)
+
+    def test_ordering(self, dataset):
+        rows = figure3(dataset, ALLOWED, SURVEY, min_presence=1)
+        assert [r.caller for r in rows] == ["cp-a.com", "cp-b.com"]
+
+
+class TestFigure5Exact:
+    def test_distinct_sites_counted(self, dataset):
+        rows = {r.caller: r for r in figure5(dataset, ALLOWED, SURVEY)}
+        assert rows["cp-a.com"].websites == 2
+        # The double call on s4.ru counts one website.
+        assert rows["cp-b.com"].websites == 1
+
+
+class TestFigure6Exact:
+    def test_regional_split(self, dataset):
+        rows = figure6(dataset, ALLOWED, SURVEY, callers=["cp-b.com"])
+        row = rows[0]
+        assert row.present[Region.RU] == 1
+        assert row.present[Region.EU] == 1
+        assert row.called[Region.RU] == 1
+        assert row.called[Region.EU] == 0
+        assert row.enabled_percent(Region.RU) == 100.0
+        assert row.enabled_percent(Region.EU) == 0.0
+        assert row.enabled_percent(Region.JP) == 0.0
+
+
+class TestFigure7Exact:
+    def test_probabilities(self):
+        catalogue = CmpCatalogue()
+        dataset = Dataset(
+            "unit",
+            [
+                record("q1.com", ["cp-a.com"], [call("cp-a.com", "q1.com")],
+                       cmp="HubSpot"),
+                record("q2.com", ["cp-a.com"], [call("cp-a.com", "q2.com")]),
+                record("c1.com", cmp="HubSpot"),
+                record("c2.com", cmp="OneTrust"),
+                record("c3.com", cmp="OneTrust"),
+                record("plain.com"),
+            ],
+        )
+        rows = {r.name: r for r in figure7(dataset, ALLOWED, SURVEY, catalogue)}
+        hubspot = rows["HubSpot"]
+        assert hubspot.sites_total == 2
+        assert hubspot.sites_questionable == 1
+        assert hubspot.p_cmp == pytest.approx(2 / 6)
+        assert hubspot.p_cmp_given_questionable == pytest.approx(1 / 2)
+        assert hubspot.p_questionable_given_cmp == pytest.approx(1 / 2)
+        assert hubspot.lift == pytest.approx((1 / 2) / (2 / 6))
+        onetrust = rows["OneTrust"]
+        assert onetrust.p_questionable_given_cmp == 0.0
+        # Average over deployed CMPs: (1/2 + 0) / 2.
+        assert average_questionable_rate(list(rows.values())) == pytest.approx(0.25)

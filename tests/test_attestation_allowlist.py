@@ -1,0 +1,117 @@
+"""Unit tests for the allow-list: format, gating, and the Chromium bug."""
+
+import pytest
+
+from repro.attestation.allowlist import (
+    AllowList,
+    AllowListCorruptError,
+    AllowListDatabase,
+    GatingDecision,
+    parse_allowlist,
+)
+
+
+@pytest.fixture
+def allowlist() -> AllowList:
+    return AllowList.of(["criteo.com", "doubleclick.net", "teads.tv"])
+
+
+class TestAllowList:
+    def test_normalises_to_registrable(self):
+        al = AllowList.of(["static.ads.criteo.com"])
+        assert "criteo.com" in al.domains
+
+    def test_contains_matches_subdomains(self, allowlist):
+        assert "frame.criteo.com" in allowlist
+        assert "criteo.com" in allowlist
+        assert "evil.com" not in allowlist
+
+    def test_len(self, allowlist):
+        assert len(allowlist) == 3
+
+    def test_serialize_parse_round_trip(self, allowlist):
+        parsed = parse_allowlist(allowlist.serialize())
+        assert parsed.domains == allowlist.domains
+
+    def test_serialized_entries_sorted(self, allowlist):
+        lines = allowlist.serialize().splitlines()[1:]
+        assert lines == sorted(lines)
+
+
+class TestParseValidation:
+    def test_empty_payload(self):
+        with pytest.raises(AllowListCorruptError):
+            parse_allowlist("")
+
+    def test_bad_magic(self, allowlist):
+        payload = allowlist.serialize().replace("PSAT", "XXXX")
+        with pytest.raises(AllowListCorruptError):
+            parse_allowlist(payload)
+
+    def test_bad_version(self, allowlist):
+        payload = allowlist.serialize().replace(" v1 ", " v9 ")
+        with pytest.raises(AllowListCorruptError):
+            parse_allowlist(payload)
+
+    def test_count_mismatch(self, allowlist):
+        payload = allowlist.serialize() + "extra.com\n"
+        with pytest.raises(AllowListCorruptError):
+            parse_allowlist(payload)
+
+    def test_checksum_mismatch(self, allowlist):
+        payload = allowlist.serialize().replace("criteo.com", "crixeo.com")
+        with pytest.raises(AllowListCorruptError):
+            parse_allowlist(payload)
+
+
+class TestGating:
+    def test_healthy_allows_enrolled(self, allowlist):
+        db = AllowListDatabase.from_allowlist(allowlist)
+        decision = db.check_caller("bid.criteo.com")
+        assert decision is GatingDecision.ALLOWED_ENROLLED
+        assert decision.allowed
+
+    def test_healthy_blocks_unenrolled(self, allowlist):
+        db = AllowListDatabase.from_allowlist(allowlist)
+        decision = db.check_caller("www.some-website.com")
+        assert decision is GatingDecision.BLOCKED_NOT_ENROLLED
+        assert not decision.allowed
+
+    def test_corrupt_database_default_allows(self, allowlist):
+        # The bug the paper found (§2.3): corrupted database ⇒ any caller
+        # may use the Topics API.
+        db = AllowListDatabase.from_allowlist(allowlist)
+        db.corrupt()
+        assert db.is_corrupt
+        decision = db.check_caller("www.some-website.com")
+        assert decision is GatingDecision.ALLOWED_DATABASE_CORRUPT
+        assert decision.allowed
+
+    def test_missing_database_default_allows(self, allowlist):
+        db = AllowListDatabase.from_allowlist(allowlist)
+        db.remove()
+        assert db.is_corrupt
+        assert db.check_caller("anything.org").allowed
+
+    def test_fresh_database_is_corrupt_until_updated(self):
+        db = AllowListDatabase()
+        assert db.is_corrupt
+        assert db.check_caller("x.com").allowed
+
+    def test_update_heals_corruption(self, allowlist):
+        db = AllowListDatabase.from_allowlist(allowlist)
+        db.corrupt()
+        db.update(allowlist.serialize())
+        assert not db.is_corrupt
+        assert not db.check_caller("evil.com").allowed
+
+    def test_corrupt_payload_update_marks_corrupt(self, allowlist):
+        db = AllowListDatabase.from_allowlist(allowlist)
+        db.update("garbage payload")
+        assert db.is_corrupt
+        assert db.allowlist is None
+
+    def test_parsed_allowlist_exposed(self, allowlist):
+        db = AllowListDatabase.from_allowlist(allowlist)
+        assert db.allowlist is not None
+        assert db.allowlist.domains == allowlist.domains

@@ -1,0 +1,82 @@
+"""Unit tests for attestation files and their validation."""
+
+import json
+
+import pytest
+
+from repro.attestation.wellknown import (
+    AttestationFile,
+    AttestationValidationError,
+    WELL_KNOWN_PATH,
+    validate_attestation_json,
+)
+from repro.util.timeline import timestamp_from_date
+
+
+@pytest.fixture
+def attestation() -> AttestationFile:
+    return AttestationFile(
+        domain="criteo.com",
+        issued_at=timestamp_from_date(2023, 7, 1),
+        attests_topics=True,
+        has_enrollment_site=False,
+    )
+
+
+class TestSerialisation:
+    def test_well_known_path(self):
+        assert WELL_KNOWN_PATH == "/.well-known/privacy-sandbox-attestations.json"
+
+    def test_valid_json(self, attestation):
+        document = json.loads(attestation.to_json())
+        assert document["attestation_parser_version"] == "2"
+
+    def test_issue_date_serialised(self, attestation):
+        summary = validate_attestation_json("criteo.com", attestation.to_json())
+        assert summary["issued"] == "2023-07-01"
+
+    def test_enrollment_site_field(self):
+        migrated = AttestationFile(
+            domain="criteo.com",
+            issued_at=0,
+            attests_topics=True,
+            has_enrollment_site=True,
+        )
+        summary = validate_attestation_json("criteo.com", migrated.to_json())
+        assert summary["has_enrollment_site"] is True
+        assert "https://criteo.com" in migrated.to_json()
+
+    def test_pre_migration_lacks_enrollment_site(self, attestation):
+        summary = validate_attestation_json("criteo.com", attestation.to_json())
+        assert summary["has_enrollment_site"] is False
+
+
+class TestValidation:
+    def test_round_trip_is_valid(self, attestation):
+        summary = validate_attestation_json("criteo.com", attestation.to_json())
+        assert summary["attests_topics"] is True
+
+    def test_not_json(self):
+        with pytest.raises(AttestationValidationError):
+            validate_attestation_json("x.com", "<html>404</html>")
+
+    def test_not_object(self):
+        with pytest.raises(AttestationValidationError):
+            validate_attestation_json("x.com", "[1, 2]")
+
+    def test_wrong_parser_version(self):
+        with pytest.raises(AttestationValidationError):
+            validate_attestation_json(
+                "x.com", '{"attestation_parser_version": "1", "attestations": []}'
+            )
+
+    def test_missing_attestations(self):
+        with pytest.raises(AttestationValidationError):
+            validate_attestation_json(
+                "x.com", '{"attestation_parser_version": "2"}'
+            )
+
+    def test_non_attesting_file_invalid(self, attestation):
+        payload = attestation.to_json().replace("true", "false")
+        with pytest.raises(AttestationValidationError):
+            validate_attestation_json("criteo.com", payload)

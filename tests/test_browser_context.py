@@ -1,0 +1,72 @@
+"""Unit tests for origins and browsing contexts — the §4 mechanism."""
+
+from repro.browser.context import BrowsingContext, root_context_for
+from repro.browser.origin import Origin
+from repro.util.urls import https, parse_url
+
+
+class TestOrigin:
+    def test_site_is_registrable_domain(self):
+        origin = Origin.of(parse_url("https://static.criteo.com/tag.js"))
+        assert origin.site == "criteo.com"
+
+    def test_schemeful_site(self):
+        origin = Origin.of(https("www.foo.com"))
+        assert origin.schemeful_site() == "https://foo.com"
+
+    def test_same_origin_strict(self):
+        a = Origin.of(https("www.foo.com"))
+        b = Origin.of(https("api.foo.com"))
+        assert not a.same_origin(b)
+        assert a.same_origin(Origin.of(https("www.foo.com")))
+
+    def test_same_site_ignores_subdomain(self):
+        a = Origin.of(https("www.foo.com"))
+        b = Origin.of(https("api.foo.com"))
+        assert a.same_site(b)
+
+    def test_same_site_requires_scheme(self):
+        a = Origin("https", "www.foo.com", 443)
+        b = Origin("http", "www.foo.com", 80)
+        assert not a.same_site(b)
+
+    def test_str_omits_default_port(self):
+        assert str(Origin("https", "foo.com", 443)) == "https://foo.com"
+        assert str(Origin("https", "foo.com", 8443)) == "https://foo.com:8443"
+
+
+class TestBrowsingContext:
+    def test_root_properties(self):
+        root = root_context_for(https("www.site.com"))
+        assert root.is_root
+        assert root.top is root
+        assert root.depth() == 0
+        assert root.top_frame_site == "site.com"
+
+    def test_iframe_gets_own_origin(self):
+        root = root_context_for(https("www.site.com"))
+        frame = root.open_iframe(https("ads.tracker.net", "/frame.html"))
+        assert frame.origin.host == "ads.tracker.net"
+        assert frame.parent is root
+        assert frame in root.children
+        assert not frame.is_root
+
+    def test_nested_iframes_keep_top_frame_site(self):
+        root = root_context_for(https("www.site.com"))
+        frame = root.open_iframe(https("a.net"))
+        inner = frame.open_iframe(https("b.org"))
+        assert inner.top is root
+        assert inner.top_frame_site == "site.com"
+        assert inner.depth() == 2
+
+    def test_script_executes_with_embedder_origin(self):
+        # Figure 4's crux: a <script src=gtm.js> in the page HTML runs with
+        # the PAGE's origin, not googletagmanager.com's.
+        root = root_context_for(https("www.example.org"))
+        assert root.script_execution_origin().host == "www.example.org"
+        assert root.script_execution_origin().site == "example.org"
+
+    def test_script_inside_iframe_uses_iframe_origin(self):
+        root = root_context_for(https("www.example.org"))
+        frame = root.open_iframe(https("frame.criteo.com", "/topics.html"))
+        assert frame.script_execution_origin().site == "criteo.com"

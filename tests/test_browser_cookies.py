@@ -1,0 +1,120 @@
+"""Tests for the cookie substrate and the cookies-vs-topics comparison."""
+
+import pytest
+
+from repro.analysis.cookies_vs_topics import compare_tracking, render_comparison
+from repro.browser.cookies import TRACKING_COOKIE, CookieJar, CookieTracker
+
+
+class TestCookieJar:
+    def test_first_party_set_and_get(self):
+        jar = CookieJar()
+        assert jar.set_cookie("www.site.com", "site.com", "sid", "1", now=0)
+        cookie = jar.get_cookie("www.site.com", "site.com", "sid")
+        assert cookie is not None and cookie.value == "1"
+        assert not cookie.third_party
+
+    def test_third_party_flagged(self):
+        jar = CookieJar()
+        jar.set_cookie("ads.tracker.net", "site.com", "uid", "x", now=0)
+        cookie = jar.get_cookie("ads.tracker.net", "other.com", "uid")
+        assert cookie is not None and cookie.third_party
+
+    def test_phaseout_blocks_third_party_set(self):
+        jar = CookieJar(third_party_cookies_enabled=False)
+        assert not jar.set_cookie("ads.tracker.net", "site.com", "uid", "x", now=0)
+        assert len(jar) == 0
+
+    def test_phaseout_allows_first_party(self):
+        jar = CookieJar(third_party_cookies_enabled=False)
+        assert jar.set_cookie("www.site.com", "site.com", "sid", "1", now=0)
+
+    def test_phaseout_hides_existing_cross_site(self):
+        jar = CookieJar()
+        jar.set_cookie("ads.tracker.net", "tracker.net", "uid", "x", now=0)
+        jar.third_party_cookies_enabled = False
+        # Same-site access still works; cross-site is blocked.
+        assert jar.get_cookie("ads.tracker.net", "tracker.net", "uid") is not None
+        assert jar.get_cookie("ads.tracker.net", "news.com", "uid") is None
+
+    def test_domain_scoping(self):
+        jar = CookieJar()
+        jar.set_cookie("a.tracker.net", "site.com", "uid", "x", now=0)
+        assert jar.get_cookie("b.tracker.net", "site.com", "uid") is not None
+        assert jar.get_cookie("other.org", "site.com", "uid") is None
+
+    def test_cookies_for_and_clear(self):
+        jar = CookieJar()
+        jar.set_cookie("a.net", "s.com", "x", "1", now=0)
+        jar.set_cookie("a.net", "s.com", "y", "2", now=0)
+        assert len(jar.cookies_for("sub.a.net")) == 2
+        jar.clear()
+        assert len(jar) == 0
+
+
+class TestCookieTracker:
+    def test_identifier_persists_across_sites(self):
+        tracker = CookieTracker(CookieJar(), profile_seed=1)
+        first = tracker.track_impression("ads.cp.com", "news.com", now=0)
+        second = tracker.track_impression("ads.cp.com", "shop.com", now=1)
+        assert first == second  # the cross-site tracking loop
+
+    def test_identifier_deterministic_per_profile(self):
+        a = CookieTracker(CookieJar(), profile_seed=1)
+        b = CookieTracker(CookieJar(), profile_seed=1)
+        assert a.track_impression("ads.cp.com", "x.com", 0) == b.track_impression(
+            "ads.cp.com", "x.com", 0
+        )
+
+    def test_profiles_differ(self):
+        a = CookieTracker(CookieJar(), profile_seed=1)
+        b = CookieTracker(CookieJar(), profile_seed=2)
+        assert a.track_impression("ads.cp.com", "x.com", 0) != b.track_impression(
+            "ads.cp.com", "x.com", 0
+        )
+
+    def test_phaseout_denies_identifier(self):
+        tracker = CookieTracker(
+            CookieJar(third_party_cookies_enabled=False), profile_seed=1
+        )
+        assert tracker.track_impression("ads.cp.com", "news.com", 0) is None
+        assert tracker.impressions == [("cp.com", "news.com", False)]
+
+    def test_first_party_identifier_survives_phaseout(self):
+        tracker = CookieTracker(
+            CookieJar(third_party_cookies_enabled=False), profile_seed=1
+        )
+        tracker.track_impression("ads.cp.com", "cp.com", 0)
+        assert tracker.track_impression("ads.cp.com", "cp.com", 1) is not None
+
+    def test_cookie_name(self):
+        jar = CookieJar()
+        CookieTracker(jar, 1).track_impression("ads.cp.com", "x.com", 0)
+        assert jar.get_cookie("ads.cp.com", "x.com", TRACKING_COOKIE)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def rows(self, world):
+        return compare_tracking(world, site_limit=2_500)
+
+    def test_phaseout_destroys_cross_site_ids(self, rows):
+        for row in rows[:10]:
+            assert row.cookie_id_rate_3pc_on > 0.95
+            assert row.cookie_id_rate_3pc_off < 0.05
+            assert row.phaseout_loss > 0.9
+
+    def test_topics_partially_substitutes(self, rows):
+        criteo = next(r for r in rows if r.caller == "criteo.com")
+        assert 0.6 <= criteo.topics_call_rate <= 0.9  # its 75% A/B share
+        bing = next((r for r in rows if r.caller == "bing.com"), None)
+        if bing is not None:
+            assert bing.topics_call_rate == 0.0  # enrolled but silent
+
+    def test_min_impressions_filter(self, world):
+        rows = compare_tracking(world, site_limit=1_000, min_impressions=100)
+        assert all(row.impressions >= 100 for row in rows)
+
+    def test_render(self, rows):
+        text = render_comparison(rows, top=5)
+        assert "3PC on" in text and "topics" in text

@@ -1,0 +1,151 @@
+"""Direct ScriptRuntime tests: behaviours, origin modes, environments."""
+
+import pytest
+
+from repro.attestation.allowlist import AllowList, AllowListDatabase
+from repro.browser.context import root_context_for
+from repro.browser.network import NetworkLog, NetworkStack
+from repro.browser.script import ScriptOriginMode, ScriptRuntime
+from repro.browser.topics.api import TopicsApi
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.taxonomy.classifier import SiteClassifier
+from repro.util.urls import https
+from repro.web.page import ScriptKind, ScriptTag
+
+
+@pytest.fixture
+def runtime_parts(world):
+    database = AllowListDatabase.from_allowlist(AllowList.of(["criteo.com"]))
+    database.corrupt()  # observe every caller, as the paper's crawler does
+    manager = BrowsingTopicsSiteDataManager(
+        EpochTopicsSelector(SiteClassifier(), user_seed=1), database
+    )
+    api = TopicsApi(manager)
+    return manager, api
+
+
+def make_runtime(world, api, mode=ScriptOriginMode.EMBEDDER):
+    return ScriptRuntime(world, api, NetworkStack(), mode)
+
+
+def gtm_tag(calls=1, fires_before=False):
+    return ScriptTag(
+        src=https("www.googletagmanager.com", "/gtm.js"),
+        kind=ScriptKind.TAG_MANAGER,
+        rogue_topics_call=True,
+        rogue_call_count=calls,
+        rogue_fires_before_consent=fires_before,
+    )
+
+
+class TestInfrastructureScripts:
+    def test_rogue_call_from_embedder(self, world, runtime_parts):
+        manager, api = runtime_parts
+        runtime = make_runtime(world, api)
+        root = root_context_for(https("www.somesite.com"))
+        runtime.execute(gtm_tag(), root, True, 0, NetworkLog(), "somesite.com")
+        assert manager.call_log[-1].caller == "somesite.com"
+
+    def test_rogue_call_count_respected(self, world, runtime_parts):
+        manager, api = runtime_parts
+        runtime = make_runtime(world, api)
+        root = root_context_for(https("www.somesite.com"))
+        runtime.execute(gtm_tag(calls=3), root, True, 0, NetworkLog(), "somesite.com")
+        assert manager.call_count == 3
+
+    def test_non_rogue_gtm_silent(self, world, runtime_parts):
+        manager, api = runtime_parts
+        runtime = make_runtime(world, api)
+        tag = ScriptTag(
+            src=https("www.googletagmanager.com", "/gtm.js"),
+            kind=ScriptKind.TAG_MANAGER,
+        )
+        root = root_context_for(https("www.somesite.com"))
+        runtime.execute(tag, root, True, 0, NetworkLog(), "somesite.com")
+        assert manager.call_count == 0
+
+    def test_before_consent_respects_flag(self, world, runtime_parts):
+        manager, api = runtime_parts
+        runtime = make_runtime(world, api)
+        root = root_context_for(https("www.somesite.com"))
+        runtime.execute(
+            gtm_tag(fires_before=False), root, False, 0, NetworkLog(), "somesite.com"
+        )
+        assert manager.call_count == 0
+        runtime.execute(
+            gtm_tag(fires_before=True), root, False, 0, NetworkLog(), "somesite.com"
+        )
+        assert manager.call_count == 1
+
+    def test_script_url_mode_attributes_to_script_host(self, world, runtime_parts):
+        manager, api = runtime_parts
+        runtime = make_runtime(world, api, ScriptOriginMode.SCRIPT_URL)
+        root = root_context_for(https("www.somesite.com"))
+        runtime.execute(gtm_tag(), root, True, 0, NetworkLog(), "somesite.com")
+        assert manager.call_log[-1].caller == "googletagmanager.com"
+
+
+class TestAdTags:
+    def _ad_tag(self, domain):
+        return ScriptTag(
+            src=https(f"static.{domain}", "/tag/ads.js"), kind=ScriptKind.AD_TAG
+        )
+
+    def test_unknown_ad_tag_no_policy_no_call(self, world, runtime_parts):
+        manager, api = runtime_parts
+        runtime = make_runtime(world, api)
+        root = root_context_for(https("www.somesite.com"))
+        runtime.execute(
+            self._ad_tag("not-in-world.example"),
+            root,
+            True,
+            0,
+            NetworkLog(),
+            "somesite.com",
+        )
+        assert manager.call_count == 0
+
+    def test_enabled_site_produces_calls(self, world, runtime_parts):
+        manager, api = runtime_parts
+        runtime = make_runtime(world, api)
+        policy = world.policy_of("criteo.com")
+        enabled_site = next(
+            s.domain
+            for s in world.websites
+            if policy.is_enabled("criteo.com", s.domain, 0)
+        )
+        root = root_context_for(https(f"www.{enabled_site}"))
+        runtime.execute(
+            self._ad_tag("criteo.com"), root, True, 0, NetworkLog(), enabled_site
+        )
+        assert manager.call_count >= 1
+        assert manager.call_log[0].caller == "criteo.com"
+
+    def test_environment_multiplier_lookup(self, world, runtime_parts):
+        _, api = runtime_parts
+        runtime = make_runtime(world, api)
+        config = world.config
+        no_banner_site = next(
+            s for s in world.websites if s.banner is None
+        )
+        assert runtime._consent_environment_multiplier(  # noqa: SLF001
+            no_banner_site.domain
+        ) == config.questionable_multiplier_no_banner
+        leaky = next(
+            s
+            for s in world.websites
+            if s.banner is not None
+            and s.banner.cmp is not None
+            and not s.banner.gates_before_consent
+        )
+        assert runtime._consent_environment_multiplier(  # noqa: SLF001
+            leaky.domain
+        ) == config.questionable_multiplier_leaky_cmp
+
+    def test_unknown_site_uses_no_banner_multiplier(self, world, runtime_parts):
+        _, api = runtime_parts
+        runtime = make_runtime(world, api)
+        assert runtime._consent_environment_multiplier(  # noqa: SLF001
+            "never-generated.example"
+        ) == world.config.questionable_multiplier_no_banner

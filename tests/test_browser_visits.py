@@ -1,0 +1,240 @@
+"""Integration-level tests for Browser.visit against the shared world."""
+
+import pytest
+
+from repro.browser.browser import Browser, ERROR_UNKNOWN_HOST
+from repro.browser.topics.types import ApiCallType
+from repro.web.site import RogueVariant
+from repro.web.thirdparty import GTM_DOMAIN
+
+
+@pytest.fixture
+def browser(world) -> Browser:
+    return Browser(world, corrupt_allowlist=True)
+
+
+def find_site(world, predicate):
+    for site in world.websites:
+        if site.reachable and predicate(site):
+            return site
+    raise AssertionError("no matching site in the shared world")
+
+
+class TestBasicVisit:
+    def test_successful_visit(self, browser, world):
+        site = find_site(world, lambda s: s.redirect_to is None)
+        outcome = browser.visit(site.domain)
+        assert outcome.ok
+        assert outcome.final_domain == site.domain
+        assert outcome.url == f"https://www.{site.domain}/"
+        assert not outcome.redirected
+
+    def test_unknown_domain(self, browser):
+        outcome = browser.visit("not-a-site.example")
+        assert not outcome.ok
+        assert outcome.error == ERROR_UNKNOWN_HOST
+
+    def test_unreachable_site(self, browser, world):
+        from repro.browser.failures import FailureKind
+
+        site = next(s for s in world.websites if not s.reachable)
+        outcome = browser.visit(site.domain)
+        assert not outcome.ok
+        assert outcome.error in {kind.value for kind in FailureKind}
+
+    def test_clock_advances_per_visit(self, browser, world):
+        site = find_site(world, lambda s: True)
+        before = browser.clock.now()
+        browser.visit(site.domain)
+        assert browser.clock.now() > before
+
+    def test_page_host_in_loaded_hosts(self, browser, world):
+        site = find_site(world, lambda s: s.redirect_to is None)
+        outcome = browser.visit(site.domain)
+        assert f"www.{site.domain}" in outcome.loaded_hosts
+
+    def test_banner_surfaced(self, browser, world):
+        site = find_site(world, lambda s: s.banner is not None and not s.redirect_to)
+        outcome = browser.visit(site.domain)
+        assert outcome.banner is site.banner
+
+
+class TestConsentGating:
+    def test_gated_scripts_absent_before_consent(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.gates_before_consent
+            and s.redirect_to is None
+            and any(
+                world.is_consent_gated(d) for d in s.embedded
+            ),
+        )
+        gated_domains = {
+            d for d in site.embedded if world.is_consent_gated(d)
+        }
+        before = browser.visit(site.domain)
+        assert not (before.third_party_domains & gated_domains)
+
+    def test_gated_scripts_load_after_consent(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.gates_before_consent
+            and s.redirect_to is None
+            and any(world.is_consent_gated(d) for d in s.embedded),
+        )
+        gated_domains = {d for d in site.embedded if world.is_consent_gated(d)}
+        browser.consent.grant(site.domain)
+        after = browser.visit(site.domain)
+        assert gated_domains <= after.third_party_domains
+
+    def test_explicit_consent_override(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.gates_before_consent
+            and s.redirect_to is None
+            and any(world.is_consent_gated(d) for d in s.embedded),
+        )
+        gated = {d for d in site.embedded if world.is_consent_gated(d)}
+        outcome = browser.visit(site.domain, consent_granted=True)
+        assert gated <= outcome.third_party_domains
+
+    def test_ungated_third_parties_always_load(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: GTM_DOMAIN in s.embedded and s.redirect_to is None,
+        )
+        outcome = browser.visit(site.domain)
+        assert GTM_DOMAIN in outcome.third_party_domains
+
+
+class TestRogueCalls:
+    def test_root_gtm_call_attributed_to_site(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.rogue is not None
+            and s.rogue.variant is RogueVariant.ROOT_GTM,
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        rogue_calls = [c for c in outcome.topics_calls if c.caller == site.domain]
+        assert rogue_calls
+        assert all(c.call_type is ApiCallType.JAVASCRIPT for c in rogue_calls)
+        assert len(rogue_calls) == site.rogue.call_count
+
+    def test_sibling_call_attributed_to_sibling(self, browser, world):
+        from repro.util.psl import etld_plus_one, same_second_level
+
+        site = find_site(
+            world,
+            lambda s: s.rogue is not None
+            and s.rogue.variant is RogueVariant.SIBLING,
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        expected_caller = etld_plus_one(site.rogue.caller_host)
+        callers = {c.caller for c in outcome.topics_calls}
+        assert expected_caller in callers
+        assert same_second_level(expected_caller, site.domain)
+
+    def test_redirect_followed_and_attributed(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.rogue is not None
+            and s.rogue.variant is RogueVariant.REDIRECT,
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        assert outcome.redirected
+        assert outcome.final_domain == site.redirect_to
+        callers = {c.caller for c in outcome.topics_calls}
+        assert site.redirect_to in callers
+
+    def test_rogue_respects_before_consent_flag(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.rogue is not None
+            and s.rogue.variant is RogueVariant.ROOT_GTM
+            and not s.rogue.fires_before_consent,
+        )
+        outcome = browser.visit(site.domain, consent_granted=False)
+        assert site.domain not in {c.caller for c in outcome.topics_calls}
+
+    def test_rogue_fires_before_when_flagged(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.rogue is not None
+            and s.rogue.variant is RogueVariant.ROOT_GTM
+            and s.rogue.fires_before_consent,
+        )
+        outcome = browser.visit(site.domain, consent_granted=False)
+        assert site.domain in {c.caller for c in outcome.topics_calls}
+
+
+class TestAllowlistModes:
+    def test_healthy_browser_blocks_rogue_calls(self, world):
+        browser = Browser(world, corrupt_allowlist=False)
+        site = find_site(
+            world,
+            lambda s: s.rogue is not None
+            and s.rogue.variant is RogueVariant.ROOT_GTM,
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        rogue = [c for c in outcome.topics_calls if c.caller == site.domain]
+        assert rogue and all(not c.allowed for c in rogue)
+
+    def test_corrupt_browser_allows_rogue_calls(self, browser, world):
+        site = find_site(
+            world,
+            lambda s: s.rogue is not None
+            and s.rogue.variant is RogueVariant.ROOT_GTM,
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        rogue = [c for c in outcome.topics_calls if c.caller == site.domain]
+        assert rogue and all(c.allowed for c in rogue)
+
+    def test_refresh_allowlist_heals(self, world):
+        browser = Browser(world, corrupt_allowlist=True)
+        assert browser.allowlist_db.is_corrupt
+        browser.refresh_allowlist()
+        assert not browser.allowlist_db.is_corrupt
+
+
+class TestLegitimateCalls:
+    def test_enabled_cp_calls_after_consent(self, browser, world):
+        # doubleclick's policy is deterministic: find a site where it is
+        # both embedded and A/B-enabled.
+        policy = world.policy_of("doubleclick.net")
+        site = find_site(
+            world,
+            lambda s: "doubleclick.net" in s.embedded
+            and s.redirect_to is None
+            and policy.is_enabled("doubleclick.net", s.domain, 10),
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        assert "doubleclick.net" in {c.caller for c in outcome.topics_calls}
+
+    def test_disabled_cp_stays_silent(self, browser, world):
+        policy = world.policy_of("doubleclick.net")
+        site = find_site(
+            world,
+            lambda s: "doubleclick.net" in s.embedded
+            and s.redirect_to is None
+            and s.rogue is None
+            and not policy.is_enabled("doubleclick.net", s.domain, 10),
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        assert "doubleclick.net" not in {c.caller for c in outcome.topics_calls}
+
+    def test_call_types_match_policy(self, browser, world):
+        policy = world.policy_of("doubleclick.net")
+        site = find_site(
+            world,
+            lambda s: "doubleclick.net" in s.embedded
+            and s.redirect_to is None
+            and policy.is_enabled("doubleclick.net", s.domain, 10),
+        )
+        outcome = browser.visit(site.domain, consent_granted=True)
+        dbl_calls = [c for c in outcome.topics_calls if c.caller == "doubleclick.net"]
+        expected = policy.pick_call_type("doubleclick.net", site.domain)
+        assert all(c.call_type is expected for c in dbl_calls)
+
+    def test_distillery_calls_on_own_site(self, browser, world):
+        outcome = browser.visit("distillery.com", consent_granted=True)
+        assert "distillery.com" in {c.caller for c in outcome.topics_calls}

@@ -1,0 +1,143 @@
+"""Tests for the command-line interface (invoking main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-a-command"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.sites == 50_000 and args.seed == 1
+
+
+class TestCommands:
+    def test_study_small(self, capsys, tmp_path):
+        code = main(
+            ["study", "--sites", "1500", "--out", str(tmp_path / "out")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert "Figure 7" in out
+        assert "Paper vs measured" in out
+        assert (tmp_path / "out" / "table1.csv").exists()
+        assert (tmp_path / "out" / "d_ba.jsonl").exists()
+
+    def test_crawl_then_analyze(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        assert main(["crawl", "--sites", "1200", "--out", out_dir]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--data", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "distillery.com" in out
+
+    def test_crawl_sharded(self, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        assert main(
+            ["crawl", "--sites", "1200", "--out", out_dir, "--shards", "3"]
+        ) == 0
+
+    def test_crawl_healthy_allowlist(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        assert main(
+            [
+                "crawl", "--sites", "1200", "--out", out_dir,
+                "--healthy-allowlist",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--data", out_dir]) == 0
+        out = capsys.readouterr().out
+        # With gating intact, no !Allowed caller gets through.
+        assert "!Allowed                    0" in out
+
+    def test_analyze_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", "--data", str(tmp_path / "nope")])
+
+    def test_probe_attested(self, capsys):
+        code = main(["probe", "--sites", "800", "distillery.com"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "valid attestation: True" in out
+        assert "Allowed:           False" in out
+
+    def test_probe_unknown_domain_fails(self, capsys):
+        code = main(["probe", "--sites", "800", "no-such-party.example"])
+        assert code == 1
+
+    def test_reident(self, capsys):
+        code = main(
+            ["reident", "--population", "15", "--epochs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "observation epochs" in out or "epochs" in out
+        assert "uplift" in out
+
+    def test_monitor(self, capsys):
+        code = main(
+            [
+                "monitor", "--sites", "1000",
+                "--dates", "2023-10-01,2024-06-01",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2023-10-01" in out and "2024-06-01" in out
+
+    def test_crawl_us_vantage_sees_fewer_banners(self, capsys, tmp_path):
+        eu_dir = str(tmp_path / "eu")
+        us_dir = str(tmp_path / "us")
+        main(["crawl", "--sites", "2000", "--out", eu_dir])
+        eu_line = capsys.readouterr().out.splitlines()[0]
+        main(["crawl", "--sites", "2000", "--out", us_dir, "--vantage", "us"])
+        us_line = capsys.readouterr().out.splitlines()[0]
+
+        import re
+
+        def accepted(line: str) -> int:
+            match = re.search(r"([\d,]+) After-Accept", line)
+            assert match is not None, line
+            return int(match.group(1).replace(",", ""))
+
+        assert accepted(us_line) < accepted(eu_line)
+
+    def test_robustness(self, capsys):
+        code = main(["robustness", "--sites", "1200", "--seeds", "2,5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Seed grid" in out
+        assert "within their paper bands" in out
+
+    def test_diff_identical_campaigns(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "c")
+        main(["crawl", "--sites", "1200", "--out", out_dir])
+        capsys.readouterr()
+        code = main(["diff", "--before", out_dir, "--after", out_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(none)" in out
+
+    def test_targeting(self, capsys):
+        code = main(["targeting", "--population", "15", "--epochs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cookie-profile" in out and "topics" in out
+
+    def test_audit_cmp(self, capsys):
+        code = main(["audit-cmp", "--sites", "2500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HubSpot" in out
+        assert "flagged CMPs" in out

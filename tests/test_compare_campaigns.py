@@ -1,0 +1,58 @@
+"""Tests for campaign-to-campaign diffing."""
+
+import pytest
+
+from repro.analysis.compare_campaigns import diff_campaigns, render_diff
+from repro.crawler.campaign import CrawlCampaign
+from repro.longitudinal.evolution import world_at
+from repro.util.timeline import timestamp_from_date
+
+
+class TestSelfDiff:
+    def test_identical_campaigns_empty_diff(self, crawl):
+        diff = diff_campaigns(crawl, crawl)
+        assert diff.new_callers == ()
+        assert diff.gone_callers == ()
+        assert diff.rate_changes == ()
+        assert diff.questionable_delta == 0
+        assert diff.churn == 0
+
+
+class TestSnapshotDiff:
+    @pytest.fixture(scope="class")
+    def snapshots(self, world):
+        early_world = world_at(world, timestamp_from_date(2023, 11, 1))
+        early = CrawlCampaign(early_world, corrupt_allowlist=True, limit=3_000).run()
+        late = CrawlCampaign(world, corrupt_allowlist=True, limit=3_000).run()
+        return early, late
+
+    def test_adoption_appears_as_new_callers(self, snapshots):
+        early, late = snapshots
+        diff = diff_campaigns(early, late)
+        assert len(diff.new_callers) > 5
+        assert len(diff.new_callers) > len(diff.gone_callers)
+
+    def test_rates_ramp_upward(self, snapshots):
+        early, late = snapshots
+        diff = diff_campaigns(early, late)
+        ups = sum(1 for change in diff.rate_changes if change.delta > 0)
+        downs = len(diff.rate_changes) - ups
+        assert ups > downs
+
+    def test_questionable_grows_with_adoption(self, snapshots):
+        early, late = snapshots
+        diff = diff_campaigns(early, late)
+        assert diff.questionable_delta >= 0
+
+    def test_min_rate_delta_filter(self, snapshots):
+        early, late = snapshots
+        loose = diff_campaigns(early, late, min_rate_delta=1.0)
+        strict = diff_campaigns(early, late, min_rate_delta=30.0)
+        assert len(strict.rate_changes) <= len(loose.rate_changes)
+        assert all(abs(c.delta) >= 30.0 for c in strict.rate_changes)
+
+    def test_render(self, snapshots):
+        early, late = snapshots
+        text = render_diff(diff_campaigns(early, late))
+        assert "new active CPs" in text
+        assert "questionable CPs" in text

@@ -1,0 +1,104 @@
+"""Tests for the repeated-visit probe and alternation detection (§3)."""
+
+import pytest
+
+from repro.analysis.abtest import detect_alternation
+from repro.crawler.repeats import ObservationSeries, RepeatedVisitProbe
+
+
+class TestObservationSeries:
+    def test_runs_encoding(self):
+        series = ObservationSeries(
+            "cp.com", "s.com", (0, 1, 2, 3, 4), (True, True, False, False, True)
+        )
+        assert series.runs() == [(True, 2), (False, 2), (True, 1)]
+
+    def test_single_run(self):
+        series = ObservationSeries("cp.com", "s.com", (0, 1), (True, True))
+        assert series.runs() == [(True, 2)]
+
+
+class TestProbe:
+    @pytest.fixture(scope="class")
+    def series(self, world):
+        # Probe sites that embed an alternating CP (doubleclick, 6-hour
+        # windows) and are A/B-enabled somewhere along the way.
+        targets = [
+            s.domain
+            for s in world.websites
+            if s.reachable
+            and s.redirect_to is None
+            and "doubleclick.net" in s.embedded
+        ][:12]
+        probe = RepeatedVisitProbe(
+            world, targets, interval_seconds=3600, rounds=48
+        )
+        return probe.run()
+
+    def test_series_shapes(self, series):
+        assert series
+        for item in series:
+            assert len(item.called) == len(item.timestamps) == 48
+
+    def test_doubleclick_alternates(self, series, world):
+        findings = detect_alternation(
+            [s for s in series if s.caller == "doubleclick.net"]
+        )
+        assert findings
+        # With a 6h period sampled hourly, ON/OFF runs are long and
+        # consistent; at least one pair must be flagged alternating.
+        assert any(f.alternating for f in findings)
+
+    def test_alternating_runs_are_long(self, series):
+        for item in series:
+            if item.caller != "doubleclick.net":
+                continue
+            runs = item.runs()
+            if len(runs) >= 3:
+                inner = runs[1:-1]
+                assert all(length >= 2 for _, length in inner)
+
+    def test_non_alternating_cp_stable(self, series):
+        # criteo alternates too (configured); casalemedia does not — any
+        # casalemedia series must be a single ON run.
+        for item in series:
+            if item.caller == "casalemedia.com":
+                assert len(item.runs()) == 1
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            RepeatedVisitProbe(world, [], interval_seconds=0)
+        with pytest.raises(ValueError):
+            RepeatedVisitProbe(world, [], rounds=0)
+
+
+class TestDetector:
+    def test_always_on(self):
+        finding = detect_alternation(
+            [ObservationSeries("c", "s", tuple(range(10)), (True,) * 10)]
+        )[0]
+        assert finding.always_on
+        assert finding.on_fraction == 1.0
+
+    def test_alternating_flag(self):
+        pattern = (True,) * 6 + (False,) * 6 + (True,) * 6
+        finding = detect_alternation(
+            [ObservationSeries("c", "s", tuple(range(18)), pattern)]
+        )[0]
+        assert finding.alternating
+        assert not finding.always_on
+
+    def test_flapping_not_alternating(self):
+        pattern = (True, False) * 9
+        finding = detect_alternation(
+            [ObservationSeries("c", "s", tuple(range(18)), pattern)],
+            min_run_length=2,
+        )[0]
+        assert not finding.alternating
+
+    def test_on_fraction(self):
+        pattern = (True,) * 5 + (False,) * 15
+        finding = detect_alternation(
+            [ObservationSeries("c", "s", tuple(range(20)), pattern)]
+        )[0]
+        assert finding.on_fraction == pytest.approx(0.25)

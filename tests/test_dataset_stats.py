@@ -1,0 +1,72 @@
+"""Tests for the §2.4 dataset-statistics block."""
+
+from repro.analysis.dataset_stats import (
+    compute_stats,
+    render_stats,
+    third_party_frequency,
+)
+from repro.web.tlds import Region
+
+
+class TestComputeStats:
+    def test_counts_consistent_with_report(self, crawl):
+        stats = compute_stats(crawl)
+        assert stats.targets == crawl.report.targets
+        assert stats.ok == crawl.report.ok == stats.first_parties
+        assert stats.accepted == len(crawl.d_aa)
+        assert stats.ok + stats.failed == stats.targets
+
+    def test_failure_kinds_sum(self, crawl):
+        stats = compute_stats(crawl)
+        assert sum(stats.failure_kinds.values()) == stats.failed
+
+    def test_rates(self, crawl):
+        stats = compute_stats(crawl)
+        assert 0.3 <= stats.accept_rate <= 0.4
+        assert stats.accept_rate_given_banner > stats.accept_rate
+        assert stats.banner_rate > stats.accept_rate
+
+    def test_third_party_counts(self, crawl):
+        stats = compute_stats(crawl)
+        assert stats.unique_third_parties_ba > 0
+        # Post-consent pages load strictly more ad tags.
+        assert stats.unique_third_parties_aa > 0
+
+    def test_languages_plausible(self, crawl):
+        stats = compute_stats(crawl)
+        assert stats.banner_languages.get("en", 0) > 0
+        # Unsupported languages appear among *seen* banners too.
+        assert "ru" in stats.banner_languages or "ja" in stats.banner_languages
+
+    def test_regions_cover_all(self, crawl):
+        stats = compute_stats(crawl)
+        for region in Region:
+            assert stats.region_counts_ba.get(region, 0) > 0
+        # Acceptance skews regional composition: RU nearly vanishes in AA.
+        ru_ba_share = stats.region_counts_ba[Region.RU] / stats.ok
+        ru_aa_share = stats.region_counts_aa.get(Region.RU, 0) / stats.accepted
+        assert ru_aa_share < ru_ba_share
+
+    def test_render(self, crawl):
+        text = render_stats(compute_stats(crawl))
+        assert "Section 2.4" in text
+        assert "banner languages" in text
+        assert "third parties D_BA" in text
+
+
+class TestThirdPartyFrequency:
+    def test_top_list_sorted(self, crawl):
+        top = third_party_frequency(crawl.d_aa, top=10)
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+        assert len(top) == 10
+
+    def test_google_infrastructure_leads_aa(self, crawl):
+        # GTM / GA / doubleclick dominate presence, as in Figure 2.
+        top = third_party_frequency(crawl.d_aa, top=5)
+        assert top[0][0] in (
+            "google-analytics.com",
+            "googletagmanager.com",
+            "googleapis.com",
+        )
+        assert "google-analytics.com" in {name for name, _ in top}

@@ -1,0 +1,104 @@
+"""Tests for the experiment runner and paper-comparison machinery."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper import PAPER, PaperValue, compare, render_comparisons
+from repro.experiments.runner import run_full_study
+from repro.web.config import WorldConfig
+
+
+class TestPaperValues:
+    def test_every_key_unique_and_self_keyed(self):
+        for key, value in PAPER.items():
+            assert value.key == key
+
+    def test_exact_values_match(self):
+        assert PAPER["table1.allowed"].value == 193
+        assert PAPER["crawl.ok"].value == 43_405
+        assert PAPER["anomalous.calls"].value == 3_450
+        assert PAPER["fig5.top_caller_sites"].value == 611
+
+    def test_matches_within_tolerance(self):
+        value = PaperValue("k", "d", 100.0, tolerance=0.10)
+        assert value.matches(105.0)
+        assert not value.matches(89.0)
+
+    def test_zero_expected(self):
+        value = PaperValue("k", "d", 0.0)
+        assert value.matches(0.0)
+        assert not value.matches(1.0)
+
+    def test_deviation_signs(self):
+        value = PaperValue("k", "d", 100.0)
+        assert value.deviation(110.0) == pytest.approx(0.10)
+        assert value.deviation(90.0) == pytest.approx(-0.10)
+
+    def test_compare_unknown_key(self):
+        with pytest.raises(KeyError):
+            compare("not.a.key", 1.0)
+
+
+class TestStudyResult:
+    def test_comparisons_cover_all_areas(self, study):
+        keys = {c.key for c in study.comparisons()}
+        assert any(k.startswith("table1.") for k in keys)
+        assert any(k.startswith("crawl.") for k in keys)
+        assert any(k.startswith("fig3.") for k in keys)
+        assert any(k.startswith("anomalous.") for k in keys)
+        assert any(k.startswith("fig7.") for k in keys)
+
+    def test_scale_free_quantities_match_paper(self, study):
+        # Rates and structural constants must match even at reduced scale
+        # (absolute counts only match at 50k).
+        scale_free = {
+            "crawl.accept_rate",
+            "table1.allowed",
+            "table1.allowed_unattested",
+            "table1.aa_not_allowed_attested",
+            "fig3.doubleclick_rate",
+            "fig3.criteo_rate",
+            "anomalous.same_sld",
+            "anomalous.gtm_share",
+            "anomalous.javascript",
+            "enroll.first_year",
+        }
+        failures = [
+            c for c in study.comparisons() if c.key in scale_free and not c.ok
+        ]
+        assert not failures, failures
+
+    def test_render_comparisons(self, study):
+        text = render_comparisons(study.comparisons())
+        assert "paper" in text and "measured" in text
+        assert "yes" in text
+
+    def test_stats_and_calltypes_included(self, study):
+        from repro.browser.topics.types import ApiCallType
+
+        assert study.stats.ok == study.crawl.report.ok
+        assert study.calltype_anomalous.share(ApiCallType.JAVASCRIPT) == 1.0
+        assert study.calltype_legit.total > 0
+
+    def test_reuses_prebuilt_artifacts(self, small_config, world, crawl, study):
+        rebuilt = run_full_study(
+            ExperimentConfig(world=small_config), world=world, crawl=crawl
+        )
+        assert rebuilt.table1 == study.table1
+        assert rebuilt.fig5 == study.fig5
+
+
+class TestExperimentConfig:
+    def test_paper_scale(self):
+        config = ExperimentConfig.paper_scale()
+        assert config.world.site_count == 50_000
+        assert config.corrupt_allowlist
+
+    def test_small(self):
+        config = ExperimentConfig.small(1_000)
+        assert config.world.site_count == 1_000
+
+    def test_limit_respected(self):
+        config = ExperimentConfig(world=WorldConfig.small(400), limit=100)
+        result = run_full_study(config)
+        assert result.crawl.report.targets == 100

@@ -1,0 +1,88 @@
+"""Tests for the failure taxonomy, transient recovery and retries."""
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.failures import (
+    FailureKind,
+    breakdown,
+    failure_kind_for,
+    render_breakdown,
+)
+from repro.crawler.campaign import CrawlCampaign
+
+
+class TestFailureKinds:
+    def test_transient_is_timeout(self):
+        assert failure_kind_for("x.com", transient=True) is (
+            FailureKind.CONNECTION_TIMEOUT
+        )
+        assert FailureKind.CONNECTION_TIMEOUT.is_transient
+
+    def test_permanent_kinds_stable(self):
+        kind = failure_kind_for("x.com", transient=False)
+        assert kind is failure_kind_for("x.com", transient=False)
+        assert not kind.is_transient
+
+    def test_permanent_distribution(self):
+        kinds = [
+            failure_kind_for(f"site{i}.com", transient=False) for i in range(2000)
+        ]
+        dns_share = sum(1 for k in kinds if k is FailureKind.DNS_RESOLUTION) / len(
+            kinds
+        )
+        assert 0.5 < dns_share < 0.7  # configured at 60%
+        assert FailureKind.CONNECTION_TIMEOUT not in kinds
+
+    def test_breakdown_and_render(self):
+        counts = breakdown(["a", "a", "b"])
+        assert counts == {"a": 2, "b": 1}
+        text = render_breakdown(counts)
+        assert "failures: 3" in text and "(67%)" in text
+
+
+class TestTransientRecovery:
+    def test_transient_site_recovers_on_second_attempt(self, world):
+        site = next(
+            s for s in world.websites if not s.reachable and s.transient_failure
+        )
+        browser = Browser(world)
+        first = browser.visit(site.domain)
+        assert not first.ok
+        assert first.error == FailureKind.CONNECTION_TIMEOUT.value
+        second = browser.visit(site.domain)
+        assert second.ok
+
+    def test_permanent_site_never_recovers(self, world):
+        site = next(
+            s for s in world.websites if not s.reachable and not s.transient_failure
+        )
+        browser = Browser(world)
+        for _ in range(3):
+            assert not browser.visit(site.domain).ok
+
+
+class TestCampaignRetries:
+    def test_retries_recover_transients(self, world, crawl):
+        with_retry = CrawlCampaign(world, limit=2_000, retries=1).run()
+        without = CrawlCampaign(world, limit=2_000).run()
+        assert with_retry.report.recovered > 0
+        assert with_retry.report.ok == without.report.ok + (
+            with_retry.report.recovered
+        )
+
+    def test_no_retry_records_timeouts(self, crawl):
+        kinds = crawl.report.failure_kinds
+        assert FailureKind.CONNECTION_TIMEOUT.value in kinds
+        assert FailureKind.DNS_RESOLUTION.value in kinds
+        assert sum(kinds.values()) == crawl.report.failed
+
+    def test_retry_removes_recovered_from_breakdown(self, world):
+        result = CrawlCampaign(world, limit=2_000, retries=1).run()
+        # After one retry, every remaining timeout is a permanently slow
+        # host; transient ones moved to ok.
+        assert result.report.retried >= result.report.recovered
+
+    def test_negative_retries_rejected(self, world):
+        with pytest.raises(ValueError):
+            CrawlCampaign(world, retries=-1)

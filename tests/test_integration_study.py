@@ -1,0 +1,128 @@
+"""End-to-end invariants across world → crawl → analysis.
+
+These tie the whole pipeline together: everything the analysis reports
+must be explainable by the generated ground truth, and the headline
+*rates* of the paper must hold at reduced scale.
+"""
+
+from repro.analysis.anomalous import anomalous_calls
+from repro.analysis.pervasiveness import legitimate_callers
+from repro.web.site import RogueVariant
+from repro.web.thirdparty import active_caller_domains, questionable_caller_domains
+
+
+class TestGroundTruthConsistency:
+    def test_legit_cps_are_catalogue_actives(self, study, crawl):
+        legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+        observed = crawl.d_aa.calling_parties() & legit
+        assert observed <= set(active_caller_domains())
+
+    def test_ba_legit_cps_are_catalogue_questionables(self, study, crawl):
+        legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+        observed = crawl.d_ba.calling_parties() & legit
+        assert observed <= set(questionable_caller_domains())
+
+    def test_anomalous_callers_trace_to_rogue_sites(self, crawl, world):
+        calls = anomalous_calls(crawl.d_aa, crawl.allowed_domains, crawl.survey)
+        for record, _ in calls[:300]:
+            site = world.site(record.domain)
+            assert site.rogue is not None
+
+    def test_rogue_caller_matches_config(self, crawl, world):
+        from repro.util.psl import etld_plus_one
+
+        calls = anomalous_calls(crawl.d_aa, crawl.allowed_domains, crawl.survey)
+        for record, call in calls[:300]:
+            site = world.site(record.domain)
+            expected = etld_plus_one(site.rogue.caller_host)
+            assert call.caller == expected
+
+    def test_every_aa_site_accepted_banner(self, crawl, world):
+        for record in crawl.d_aa:
+            site = world.site(record.domain)
+            assert site.banner is not None
+
+    def test_no_calls_from_unreachable_sites(self, crawl, world):
+        unreachable = {s.domain for s in world.websites if not s.reachable}
+        assert not ({r.domain for r in crawl.d_ba} & unreachable)
+
+
+class TestPaperRates:
+    """Scale-free paper quantities, asserted as bands at 6k sites."""
+
+    def test_accept_rate(self, crawl):
+        assert 0.30 <= crawl.report.accept_rate <= 0.40  # paper: 0.339
+
+    def test_failure_rate(self, crawl):
+        rate = crawl.report.failed / crawl.report.targets
+        assert 0.11 <= rate <= 0.16  # paper: 0.132
+
+    def test_aa_anomalous_cp_rate(self, study, crawl):
+        rate = study.table1.aa_not_allowed / len(crawl.d_aa)
+        assert 0.14 <= rate <= 0.22  # paper: 2614/14719 ≈ 0.178
+
+    def test_ba_anomalous_cp_rate(self, study, crawl):
+        rate = study.table1.ba_not_allowed / len(crawl.d_ba)
+        assert 0.02 <= rate <= 0.045  # paper: 1308/43405 ≈ 0.030
+
+    def test_anomalous_calls_per_caller(self, study):
+        ratio = study.anomalous.total_calls / study.anomalous.distinct_callers
+        assert 1.2 <= ratio <= 1.5  # paper: 3450/2614 ≈ 1.32
+
+    def test_questionable_sites_rate(self, crawl):
+        legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+        questionable_sites = {
+            record.domain
+            for record, call in crawl.d_ba.iter_calls()
+            if call.caller in legit
+        }
+        rate = len(questionable_sites) / len(crawl.d_ba)
+        assert 0.02 <= rate <= 0.08  # paper implies ≈0.04
+
+    def test_distillery_only_on_own_site(self, crawl):
+        # Footnote 9: "we observe it using the Topics API on the
+        # distillery.com website only".
+        sites = {
+            record.domain
+            for record, call in crawl.d_aa.iter_calls()
+            if call.caller == "distillery.com"
+        }
+        assert sites == {"distillery.com"}
+
+
+class TestAblations:
+    def test_healthy_allowlist_hides_anomalous_usage(self, healthy_crawl):
+        calls = anomalous_calls(
+            healthy_crawl.d_aa,
+            healthy_crawl.allowed_domains,
+            healthy_crawl.survey,
+        )
+        assert calls == []
+
+    def test_healthy_allowlist_keeps_legit_usage(self, healthy_crawl, crawl):
+        legit = legitimate_callers(
+            healthy_crawl.allowed_domains, healthy_crawl.survey
+        )
+        healthy_legit_cps = healthy_crawl.d_aa.calling_parties() & legit
+        corrupt_legit_cps = crawl.d_aa.calling_parties() & legit
+        assert healthy_legit_cps == corrupt_legit_cps
+
+    def test_blocked_attempts_still_logged_by_instrumentation(self, healthy_crawl):
+        # The modified handler logs attempts even when gating blocks them.
+        blocked = [
+            call
+            for _, call in healthy_crawl.d_aa.iter_calls()
+            if not call.allowed
+        ]
+        assert blocked
+
+    def test_redirect_sites_attributed_to_requested_domain(self, crawl, world):
+        redirecting = [
+            s.domain
+            for s in world.websites
+            if s.reachable and s.rogue and s.rogue.variant is RogueVariant.REDIRECT
+        ]
+        for domain in redirecting[:20]:
+            record = crawl.d_ba.by_domain(domain)
+            assert record is not None
+            assert record.redirected

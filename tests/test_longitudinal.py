@@ -1,0 +1,106 @@
+"""Tests for the longitudinal adoption model and monitor."""
+
+import pytest
+
+from repro.attestation.registry import FIRST_ENROLLMENT_AT
+from repro.longitudinal.evolution import AdoptionModel, registry_at, world_at
+from repro.longitudinal.monitor import LongitudinalMonitor, render_trend
+from repro.util.timeline import timestamp_from_date
+
+_MONTH = 30 * 24 * 3600
+
+
+class TestAdoptionModel:
+    def test_zero_before_activation(self):
+        model = AdoptionModel(activation_lag_months=2, ramp_months=6)
+        assert model.rate_factor(0, int(1.9 * _MONTH)) == 0.0
+
+    def test_ramps_linearly(self):
+        model = AdoptionModel(activation_lag_months=0, ramp_months=4)
+        assert model.rate_factor(0, 2 * _MONTH) == pytest.approx(0.5)
+
+    def test_saturates_at_one(self):
+        model = AdoptionModel(activation_lag_months=0, ramp_months=4)
+        assert model.rate_factor(0, 100 * _MONTH) == 1.0
+
+    def test_instant_ramp(self):
+        model = AdoptionModel(activation_lag_months=0, ramp_months=0)
+        assert model.rate_factor(0, 1) == 1.0
+
+
+class TestRegistryAt:
+    def test_early_registry_smaller(self, world):
+        early = registry_at(world.registry, FIRST_ENROLLMENT_AT + 3 * _MONTH)
+        assert 0 < len(early.allowed_domains()) < len(
+            world.registry.allowed_domains()
+        )
+
+    def test_late_registry_complete(self, world):
+        late = registry_at(world.registry, timestamp_from_date(2025, 1, 1))
+        assert late.allowed_domains() == world.registry.allowed_domains()
+
+    def test_before_first_enrollment_empty(self, world):
+        pre = registry_at(world.registry, FIRST_ENROLLMENT_AT - 1)
+        assert len(pre.allowed_domains()) == 0
+
+
+class TestWorldAt:
+    def test_structure_preserved(self, world):
+        dated = world_at(world, timestamp_from_date(2023, 12, 1))
+        assert dated.websites is world.websites
+        assert dated.tranco is world.tranco
+
+    def test_rates_scaled_down_early(self, world):
+        dated = world_at(world, timestamp_from_date(2023, 10, 1))
+        base = world.policy_of("doubleclick.net")
+        scaled = dated.policy_of("doubleclick.net")
+        assert scaled is not None
+        assert scaled.enabled_rate <= base.enabled_rate
+
+    def test_rates_full_late(self, world):
+        dated = world_at(world, timestamp_from_date(2026, 1, 1))
+        for domain in ("doubleclick.net", "criteo.com", "taboola.com"):
+            assert dated.policy_of(domain).enabled_rate == pytest.approx(
+                world.policy_of(domain).enabled_rate
+            )
+
+    def test_unenrolled_services_untouched(self, world):
+        dated = world_at(world, timestamp_from_date(2023, 8, 1))
+        assert dated.third_parties["googletagmanager.com"] is (
+            world.third_parties["googletagmanager.com"]
+        )
+
+
+class TestMonitor:
+    @pytest.fixture(scope="class")
+    def snapshots(self, world):
+        monitor = LongitudinalMonitor(world, limit=1_500)
+        dates = [
+            timestamp_from_date(2023, 9, 1),
+            timestamp_from_date(2024, 3, 30),
+            timestamp_from_date(2024, 12, 1),
+        ]
+        return monitor.run(dates)
+
+    def test_allowed_grows(self, snapshots):
+        allowed = [snap.allowed for snap in snapshots]
+        assert allowed == sorted(allowed)
+        assert allowed[0] < allowed[-1]
+
+    def test_active_cps_grow(self, snapshots):
+        active = [snap.active_cps for snap in snapshots]
+        assert active[0] < active[-1]
+
+    def test_call_share_grows(self, snapshots):
+        shares = [snap.sites_with_call_share for snap in snapshots]
+        assert shares[0] < shares[-1]
+
+    def test_anomalous_calls_time_independent(self, snapshots):
+        # Rogue GTM calls are a deployment accident, not adoption: the
+        # count does not track the enrolment timeline.
+        counts = {snap.anomalous_cps for snap in snapshots}
+        assert len(counts) == 1
+
+    def test_render(self, snapshots):
+        text = render_trend(snapshots)
+        assert "2023-09-01" in text and "active" in text

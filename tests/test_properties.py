@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attestation.allowlist import (
+    AllowList,
+    AllowListCorruptError,
+    parse_allowlist,
+)
+from repro.browser.topics.history import BrowsingHistory
+from repro.browser.topics.selection import EPOCHS_PER_CALL, EpochTopicsSelector
+from repro.crawler.dataset import CallRecord, VisitRecord
+from repro.taxonomy.classifier import MAX_TOPICS_PER_SITE, SiteClassifier
+from repro.util.psl import etld_plus_one, second_level_name
+from repro.util.rng import RngStream, derive_seed
+from repro.util.text import contains_keyword, stable_digest, tokens
+from repro.util.timeline import EPOCH_DURATION, epoch_index
+from repro.util.urls import parse_url
+from repro.web.thirdparty import TopicsPolicy
+from repro.web.tranco import TrancoList
+
+# -- strategies -----------------------------------------------------------------
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+hostname = st.lists(label, min_size=1, max_size=4).map(".".join)
+domain = st.lists(label, min_size=2, max_size=3).map(".".join)
+
+
+class TestPslProperties:
+    @given(hostname)
+    def test_registrable_is_idempotent(self, host):
+        once = etld_plus_one(host)
+        assert etld_plus_one(once) == once
+
+    @given(hostname)
+    def test_registrable_is_suffix_of_host(self, host):
+        registrable = etld_plus_one(host)
+        assert host.lower().endswith(registrable)
+
+    @given(hostname)
+    def test_second_level_is_first_label_of_registrable(self, host):
+        assert second_level_name(host) == etld_plus_one(host).split(".")[0]
+
+    @given(hostname, label)
+    def test_subdomain_preserves_registrable(self, host, sub):
+        assert etld_plus_one(f"{sub}.{host}") in (
+            etld_plus_one(host),
+            f"{sub}.{host}".lower(),  # host was itself a bare suffix
+        )
+
+
+class TestUrlProperties:
+    @given(hostname, st.sampled_from(["/", "/a", "/a/b.js"]), st.sampled_from(["", "x=1"]))
+    def test_round_trip(self, host, path, query):
+        raw = f"https://{host}{path}" + (f"?{query}" if query else "")
+        assert str(parse_url(raw)) == raw
+
+    @given(hostname)
+    def test_origin_scheme_host(self, host):
+        assert parse_url(f"https://{host}/p").origin == f"https://{host}"
+
+
+class TestRngProperties:
+    @given(st.integers(), st.lists(label, max_size=3))
+    def test_derive_seed_deterministic(self, root, names):
+        assert derive_seed(root, *names) == derive_seed(root, *names)
+
+    @given(st.integers(0, 10**6), label)
+    def test_stream_reproducible(self, seed, name):
+        a = RngStream(seed, name)
+        b = RngStream(seed, name)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    @given(st.floats(0.0, 1.0))
+    def test_bernoulli_returns_bool(self, probability):
+        assert RngStream(1, "p").bernoulli(probability) in (True, False)
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=1, max_size=20), st.integers(1, 50))
+    def test_weighted_indices_bounds(self, weights, count):
+        from itertools import accumulate
+
+        cumulative = list(accumulate(weights))
+        picks = RngStream(1, "wi").weighted_indices(cumulative, count)
+        assert len(picks) == count
+        assert all(0 <= index < len(weights) for index in picks)
+
+
+class TestTextProperties:
+    @given(st.text(max_size=100))
+    def test_tokens_lowercase_alnum(self, text):
+        for token in tokens(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(st.lists(label, min_size=1, max_size=6), st.integers(0, 5))
+    def test_keyword_found_when_present(self, words, pick):
+        keyword = words[pick % len(words)]
+        text = " ".join(words)
+        assert contains_keyword(text, [keyword]) == keyword
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_stable_digest_range(self, a, b):
+        assert 0 <= stable_digest(a, b) < 2**64
+
+
+class TestTimelineProperties:
+    @given(st.integers(-10**9, 10**9))
+    def test_epoch_contains_timestamp(self, at):
+        epoch = epoch_index(at)
+        assert epoch * EPOCH_DURATION <= at < (epoch + 1) * EPOCH_DURATION
+
+
+class TestAllowListProperties:
+    @given(st.sets(domain, max_size=30))
+    def test_serialize_parse_round_trip(self, domains):
+        allowlist = AllowList.of(domains)
+        assert parse_allowlist(allowlist.serialize()).domains == allowlist.domains
+
+    @given(st.sets(domain, min_size=1, max_size=10), st.data())
+    def test_body_tampering_detected(self, domains, data):
+        payload = AllowList.of(domains).serialize()
+        lines = payload.splitlines()
+        body_start = len(lines[0]) + 1
+        position = data.draw(
+            st.integers(body_start, len(payload) - 2), label="position"
+        )
+        original = payload[position]
+        replacement = "x" if original != "x" else "y"
+        tampered = payload[:position] + replacement + payload[position + 1:]
+        try:
+            parsed = parse_allowlist(tampered)
+        except AllowListCorruptError:
+            return  # detected, as required
+        # The only acceptable escape is a no-op (same canonical set).
+        assert parsed.domains == AllowList.of(domains).domains
+
+
+class TestPolicyProperties:
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), domain, domain)
+    def test_enabled_monotone_in_rate(self, low, high, caller, site):
+        if low > high:
+            low, high = high, low
+        policy_low = TopicsPolicy(enabled_rate=low)
+        policy_high = TopicsPolicy(enabled_rate=high)
+        if policy_low.is_enabled(caller, site, 0):
+            assert policy_high.is_enabled(caller, site, 0)
+
+    @given(st.floats(0.01, 1.0), domain, domain, st.floats(0.1, 5.0))
+    def test_before_monotone_in_multiplier(self, rate, caller, site, mult):
+        policy = TopicsPolicy(enabled_rate=0.5, before_rate=rate)
+        if policy.calls_in_before_accept(caller, site, mult):
+            assert policy.calls_in_before_accept(caller, site, mult * 2)
+
+    @given(domain, domain)
+    def test_call_type_in_weights(self, caller, site):
+        policy = TopicsPolicy(enabled_rate=1.0)
+        assert policy.pick_call_type(caller, site) in policy.call_type_weights
+
+
+class TestClassifierProperties:
+    @given(hostname)
+    @settings(max_examples=50)
+    def test_classifier_total_and_bounded(self, host):
+        classifier = SiteClassifier()
+        topics = classifier.classify(host)
+        assert 1 <= len(topics) <= MAX_TOPICS_PER_SITE
+        assert len(set(topics)) == len(topics)
+        assert all(t in classifier.taxonomy for t in topics)
+
+
+class TestSelectorProperties:
+    @given(
+        st.lists(st.tuples(domain, st.integers(0, 2)), min_size=1, max_size=15),
+        domain,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_answers_valid_and_bounded(self, observations, caller):
+        history = BrowsingHistory()
+        selector = EpochTopicsSelector(SiteClassifier(), user_seed=1)
+        for site, epoch in observations:
+            history.record_observation(site, caller, epoch * EPOCH_DURATION)
+        topics = selector.topics_for_caller(history, caller, 3)
+        assert len(topics) <= EPOCHS_PER_CALL
+        ids = [t.topic_id for t in topics]
+        assert len(set(ids)) == len(ids)
+        assert all(t.topic_id in selector._taxonomy for t in topics)
+
+
+class TestTrancoProperties:
+    @given(st.lists(domain, min_size=1, max_size=40, unique=True))
+    def test_csv_round_trip(self, tmp_path_factory, domains):
+        path = tmp_path_factory.mktemp("tranco") / "list.csv"
+        ranking = TrancoList.of(domains)
+        ranking.to_csv(path)
+        assert TrancoList.from_csv(path).domains == ranking.domains
+
+
+class TestDatasetProperties:
+    @given(
+        domain,
+        st.lists(domain, max_size=5),
+        st.integers(1, 10**6),
+        st.booleans(),
+        st.sampled_from(["javascript", "fetch", "iframe"]),
+    )
+    def test_visit_record_json_round_trip(
+        self, site, parties, rank, accepted, call_type
+    ):
+        record = VisitRecord(
+            rank=rank,
+            domain=site,
+            final_domain=site,
+            url=f"https://www.{site}/",
+            final_url=f"https://www.{site}/",
+            phase="before-accept",
+            banner_present=accepted,
+            banner_language="en" if accepted else None,
+            accept_clicked=accepted,
+            cmp=None,
+            third_parties=tuple(parties),
+            calls=(
+                CallRecord(
+                    caller=site,
+                    caller_host=f"www.{site}",
+                    site=site,
+                    call_type=call_type,
+                    at=0,
+                    decision="allowed-database-corrupt",
+                    topics_returned=0,
+                ),
+            ),
+        )
+        assert VisitRecord.from_json(record.to_json()) == record

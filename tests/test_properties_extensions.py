@@ -1,0 +1,112 @@
+"""Property-based tests for the extension subsystems."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adserver.inventory import Inventory
+from repro.adserver.server import AdServer
+from repro.browser.cookies import CookieJar, CookieTracker
+from repro.browser.topics.headers import format_topics_header, parse_topics_header
+from repro.browser.topics.types import Topic
+from repro.privacy.attack import SequenceMatcher, TopicOverlapMatcher, link_profiles
+from repro.taxonomy.tree import load_default_taxonomy
+
+label = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+domain = st.lists(label, min_size=2, max_size=3).map(".".join)
+
+_TAXONOMY = load_default_taxonomy()
+_ALL_IDS = _TAXONOMY.all_ids()
+
+
+class TestHeaderProperties:
+    @given(st.lists(st.sampled_from(_ALL_IDS), max_size=3, unique=True))
+    def test_round_trip_preserves_ids(self, topic_ids):
+        topics = [
+            Topic(topic_id=t, taxonomy_version="2", model_version="1")
+            for t in topic_ids
+        ]
+        groups = parse_topics_header(format_topics_header(topics))
+        parsed_ids = sorted(i for g in groups for i in g.topic_ids)
+        assert parsed_ids == sorted(topic_ids)
+
+    @given(st.lists(st.sampled_from(_ALL_IDS), max_size=3))
+    def test_header_never_empty(self, topic_ids):
+        topics = [
+            Topic(topic_id=t, taxonomy_version="2", model_version="1")
+            for t in topic_ids
+        ]
+        header = format_topics_header(topics)
+        assert header  # padding guarantees non-emptiness
+
+
+class TestCookieProperties:
+    @given(domain, domain, st.booleans())
+    def test_jar_returns_what_was_set(self, setter, page, enabled):
+        jar = CookieJar(third_party_cookies_enabled=enabled)
+        stored = jar.set_cookie(setter, page, "k", "v", now=0)
+        fetched = jar.get_cookie(setter, page, "k")
+        if stored:
+            assert fetched is not None and fetched.value == "v"
+        else:
+            assert fetched is None
+
+    @given(domain, st.integers(0, 10**6))
+    def test_tracker_identifier_stable(self, caller, seed):
+        tracker = CookieTracker(CookieJar(), profile_seed=seed)
+        first = tracker.track_impression(caller, "page-a.example", 0)
+        second = tracker.track_impression(caller, "page-b.example", 1)
+        assert first == second
+
+
+class TestAttackProperties:
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.sampled_from(_ALL_IDS[:50])), min_size=1, max_size=3
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40)
+    def test_linkage_ranks_in_range(self, views):
+        result = link_profiles(views, views, SequenceMatcher())
+        assert all(1 <= rank <= len(views) for rank in result.true_match_ranks)
+        assert 0.0 <= result.accuracy_top1 <= 1.0
+
+    @given(
+        st.lists(st.tuples(st.sampled_from(_ALL_IDS[:50])), min_size=1, max_size=4)
+    )
+    def test_overlap_self_similarity_is_max(self, view):
+        matcher = TopicOverlapMatcher()
+        self_score = matcher.score(view, view)
+        assert self_score == 1.0
+
+
+class TestAdServerProperties:
+    _inventory = Inventory.generate(_TAXONOMY, seed=2)
+
+    @given(st.lists(st.sampled_from(_ALL_IDS), min_size=0, max_size=3))
+    @settings(max_examples=60)
+    def test_server_always_serves(self, topic_ids):
+        server = AdServer(self._inventory)
+        topics = [
+            Topic(topic_id=t, taxonomy_version="2", model_version="1")
+            for t in topic_ids
+        ]
+        response = server.provide_ad_for_topics(topics)
+        assert response.campaign.cpm > 0
+        if response.targeted:
+            # The served campaign's category matches a signalled topic.
+            target_root = _TAXONOMY.root_of(response.campaign.target_topic)
+            signal_roots = {_TAXONOMY.root_of(t).topic_id for t in topic_ids}
+            assert target_root.topic_id in signal_roots
+
+    @given(st.sampled_from(_ALL_IDS))
+    def test_matching_targets_cover_requested_topic(self, topic_id):
+        for campaign in self._inventory.matching(topic_id):
+            covered = {topic_id} | {
+                node.topic_id for node in _TAXONOMY.ancestors(topic_id)
+            }
+            assert campaign.target_topic in covered

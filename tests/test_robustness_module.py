@@ -1,0 +1,72 @@
+"""Tests for the seed-grid robustness machinery."""
+
+import pytest
+
+from repro.experiments.paper import PAPER
+from repro.experiments.robustness import (
+    SCALE_FREE_KEYS,
+    QuantitySummary,
+    render_robustness,
+    run_seed_grid,
+)
+
+
+class TestQuantitySummary:
+    def test_statistics(self):
+        summary = QuantitySummary("k", "d", 10.0, (9.0, 10.0, 11.0))
+        assert summary.mean == 10.0
+        assert summary.spread == pytest.approx(0.8165, abs=1e-3)
+
+    def test_single_value_spread_zero(self):
+        assert QuantitySummary("k", "d", 1.0, (1.0,)).spread == 0.0
+
+    def test_scale_free_classification(self):
+        assert QuantitySummary(
+            "crawl.accept_rate", "d", 0.339, (0.34,)
+        ).scale_free
+        assert not QuantitySummary("crawl.ok", "d", 43405, (900,)).scale_free
+
+    def test_scale_free_keys_exist_in_paper(self):
+        assert SCALE_FREE_KEYS <= set(PAPER)
+
+    def test_band_check(self):
+        summary = QuantitySummary(
+            "crawl.accept_rate", "d", PAPER["crawl.accept_rate"].value,
+            (0.34, 0.35),
+        )
+        assert summary.all_within_band
+        bad = QuantitySummary(
+            "crawl.accept_rate", "d", PAPER["crawl.accept_rate"].value,
+            (0.34, 0.9),
+        )
+        assert not bad.all_within_band
+
+
+class TestGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_seed_grid(1_500, [3, 9])
+
+    def test_one_result_per_seed(self, grid):
+        results, _ = grid
+        assert len(results) == 2
+
+    def test_summaries_cover_all_quantities(self, grid):
+        results, summaries = grid
+        assert len(summaries) == len(results[0].comparisons())
+        assert all(len(s.values) == 2 for s in summaries)
+
+    def test_structural_constants_seed_independent(self, grid):
+        _, summaries = grid
+        by_key = {s.key: s for s in summaries}
+        assert by_key["table1.allowed"].spread == 0.0
+        assert by_key["anomalous.javascript"].spread == 0.0
+
+    def test_render(self, grid):
+        _, summaries = grid
+        text = render_robustness(summaries, [3, 9])
+        assert "Seed grid" in text and "in band" in text
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_seed_grid(500, [])

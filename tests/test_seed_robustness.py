@@ -1,0 +1,68 @@
+"""Seed robustness: calibration must hold for any seed, not just seed 1.
+
+The paper-matching bands are properties of the model, so three independent
+worlds (different seeds, reduced scale) must all land inside slightly
+widened bands.
+"""
+
+import pytest
+
+from repro.analysis.classify import build_table1
+from repro.analysis.pervasiveness import legitimate_callers, share_of_sites_with_call
+from repro.crawler.campaign import CrawlCampaign
+from repro.web.config import WorldConfig
+from repro.web.generator import WebGenerator
+
+SEEDS = (11, 42, 2024)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_crawl(request):
+    world = WebGenerator(WorldConfig.small(3_000, seed=request.param)).generate()
+    return world, CrawlCampaign(world, corrupt_allowlist=True).run()
+
+
+class TestSeedRobustness:
+    def test_accept_rate_band(self, seeded_crawl):
+        _, crawl = seeded_crawl
+        assert 0.28 <= crawl.report.accept_rate <= 0.42
+
+    def test_failure_rate_band(self, seeded_crawl):
+        _, crawl = seeded_crawl
+        rate = crawl.report.failed / crawl.report.targets
+        assert 0.10 <= rate <= 0.17
+
+    def test_allowlist_structure(self, seeded_crawl):
+        _, crawl = seeded_crawl
+        assert len(crawl.allowed_domains) == 193
+        attested = sum(
+            1 for d in crawl.allowed_domains if crawl.survey.is_attested(d)
+        )
+        assert attested == 181
+
+    def test_table1_shape(self, seeded_crawl):
+        _, crawl = seeded_crawl
+        table = build_table1(
+            crawl.d_ba, crawl.d_aa, crawl.allowed_domains, crawl.survey
+        )
+        assert 38 <= table.aa_allowed_attested <= 47
+        assert table.aa_not_allowed_attested == 1
+        aa_rate = table.aa_not_allowed / len(crawl.d_aa)
+        assert 0.13 <= aa_rate <= 0.23
+
+    def test_call_share_band(self, seeded_crawl):
+        _, crawl = seeded_crawl
+        legit = legitimate_callers(crawl.allowed_domains, crawl.survey)
+        share = share_of_sites_with_call(crawl.d_aa, legit)
+        assert 0.40 <= share <= 0.62
+
+    def test_anomalous_mechanics(self, seeded_crawl):
+        world, crawl = seeded_crawl
+        from repro.analysis.anomalous import analyze_anomalous
+
+        report = analyze_anomalous(
+            crawl.d_aa, crawl.allowed_domains, crawl.survey, world.entities
+        )
+        assert report.javascript_fraction == 1.0
+        assert 0.85 <= report.gtm_site_fraction <= 1.0
+        assert 0.6 <= report.attribution_fraction("same-second-level-domain") <= 0.85

@@ -1,0 +1,123 @@
+"""Unit tests for the three web-facing API surfaces and caller resolution."""
+
+from repro.attestation.allowlist import AllowList, AllowListDatabase
+from repro.browser.context import root_context_for
+from repro.browser.topics.api import TopicsApi
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.browser.topics.types import ApiCallType, Topic
+from repro.taxonomy.classifier import SiteClassifier
+from repro.util.urls import https
+
+
+def make_api(allowed=("criteo.com",), corrupt=False):
+    db = AllowListDatabase.from_allowlist(AllowList.of(allowed))
+    if corrupt:
+        db.corrupt()
+    manager = BrowsingTopicsSiteDataManager(
+        EpochTopicsSelector(SiteClassifier(), user_seed=1), db
+    )
+    return TopicsApi(manager), manager
+
+
+class TestJavascriptSurface:
+    def test_caller_is_context_origin(self):
+        api, manager = make_api(corrupt=True)
+        root = root_context_for(https("www.example.org"))
+        api.document_browsing_topics(root, now=0)
+        call = manager.call_log[0]
+        assert call.call_type is ApiCallType.JAVASCRIPT
+        assert call.caller == "example.org"  # the page, not any script host
+        assert call.site == "example.org"
+
+    def test_iframe_script_attributed_to_iframe(self):
+        api, manager = make_api()
+        root = root_context_for(https("www.example.org"))
+        frame = root.open_iframe(https("frame.criteo.com", "/topics.html"))
+        api.document_browsing_topics(frame, now=0)
+        call = manager.call_log[0]
+        assert call.caller == "criteo.com"
+        assert call.site == "example.org"  # observation is against the top frame
+
+    def test_skip_observation_passthrough(self):
+        api, manager = make_api()
+        root = root_context_for(https("www.example.org"))
+        frame = root.open_iframe(https("frame.criteo.com"))
+        api.document_browsing_topics(frame, now=0, skip_observation=True)
+        assert manager.history.eligible_sites(0) == []
+
+
+class TestFetchSurface:
+    def test_caller_is_destination(self):
+        api, manager = make_api()
+        root = root_context_for(https("www.example.org"))
+        result = api.fetch_with_topics(root, https("bid.criteo.com", "/bid"), now=0)
+        call = manager.call_log[0]
+        assert call.call_type is ApiCallType.FETCH
+        assert call.caller == "criteo.com"
+        assert result.url.host == "bid.criteo.com"
+
+    def test_header_empty_without_topics(self):
+        api, _ = make_api()
+        root = root_context_for(https("www.example.org"))
+        result = api.fetch_with_topics(root, https("bid.criteo.com", "/bid"), now=0)
+        real = [t for t in result.topics if not t.is_noise]
+        assert real == []
+
+    def test_header_serialisation(self):
+        topic = Topic(topic_id=42, taxonomy_version="2", model_version="1")
+        from repro.browser.topics.api import FetchWithTopicsResult
+
+        result = FetchWithTopicsResult(url=https("a.com"), topics=(topic,))
+        header = result.sec_browsing_topics_header
+        assert header.startswith("(42);v=chrome.1:2:1")
+        assert ";p=P" in header  # padding entry, per spec
+
+    def test_fetch_observation_requires_server_opt_in(self):
+        api, manager = make_api()
+        root = root_context_for(https("www.example.org"))
+        result = api.fetch_with_topics(
+            root, https("bid.criteo.com", "/bid"), now=0,
+            response_observe_header=None,
+        )
+        assert not result.observed
+        assert manager.history.eligible_sites(0) == []
+
+    def test_fetch_observation_with_opt_in(self):
+        api, manager = make_api()
+        root = root_context_for(https("www.example.org"))
+        result = api.fetch_with_topics(
+            root, https("bid.criteo.com", "/bid"), now=0,
+            response_observe_header="?1",
+        )
+        assert result.observed
+        assert manager.history.observers_of(0, "example.org") == {"criteo.com"}
+
+    def test_blocked_fetch_never_observes(self):
+        api, manager = make_api(allowed=("other.com",))
+        root = root_context_for(https("www.example.org"))
+        result = api.fetch_with_topics(
+            root, https("bid.criteo.com", "/bid"), now=0
+        )
+        assert not result.observed
+        assert manager.history.eligible_sites(0) == []
+
+
+class TestIframeSurface:
+    def test_caller_is_frame_source(self):
+        api, manager = make_api()
+        root = root_context_for(https("www.example.org"))
+        child, _ = api.iframe_with_topics(root, https("ads.criteo.com", "/f"), now=0)
+        call = manager.call_log[0]
+        assert call.call_type is ApiCallType.IFRAME
+        assert call.caller == "criteo.com"
+        assert child.parent is root
+        assert child.origin.host == "ads.criteo.com"
+
+    def test_blocked_iframe_still_creates_context(self):
+        api, manager = make_api(allowed=("other.com",))
+        root = root_context_for(https("www.example.org"))
+        child, topics = api.iframe_with_topics(root, https("ads.criteo.com"), now=0)
+        assert topics == []
+        assert child.origin.host == "ads.criteo.com"
+        assert not manager.call_log[0].allowed

@@ -1,0 +1,75 @@
+"""Unit tests for the Sec-Browsing-Topics header codec."""
+
+import pytest
+
+from repro.browser.topics.headers import (
+    OBSERVE_TRUE,
+    ParsedTopicsHeader,
+    format_topics_header,
+    observe_requested,
+    parse_topics_header,
+)
+from repro.browser.topics.types import Topic
+
+
+def topic(tid: int, taxonomy: str = "2", model: str = "1") -> Topic:
+    return Topic(topic_id=tid, taxonomy_version=taxonomy, model_version=model)
+
+
+class TestFormat:
+    def test_single_topic(self):
+        header = format_topics_header([topic(42)])
+        assert header.startswith("(42);v=chrome.1:2:1")
+
+    def test_topics_grouped_by_version(self):
+        header = format_topics_header([topic(3), topic(1), topic(2)])
+        assert "(1 2 3);v=chrome.1:2:1" in header
+
+    def test_mixed_versions_separate_entries(self):
+        header = format_topics_header([topic(1), topic(2, taxonomy="3")])
+        assert "(1);v=chrome.1:2:1" in header
+        assert "(2);v=chrome.1:3:1" in header
+
+    def test_empty_topics_still_padded(self):
+        header = format_topics_header([])
+        assert header.startswith("();p=P")
+
+    def test_padding_always_present(self):
+        for topics in ([], [topic(1)], [topic(1), topic(2)]):
+            assert ";p=P" in format_topics_header(topics)
+
+
+class TestParse:
+    def test_round_trip(self):
+        header = format_topics_header([topic(7), topic(9)])
+        groups = parse_topics_header(header)
+        assert groups == [
+            ParsedTopicsHeader(
+                topic_ids=(7, 9), taxonomy_version="2", model_version="1"
+            )
+        ]
+
+    def test_round_trip_empty(self):
+        assert parse_topics_header(format_topics_header([])) == []
+
+    def test_padding_dropped(self):
+        groups = parse_topics_header("(1);v=chrome.1:2:1, ();p=P0000")
+        assert len(groups) == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_topics_header("not a header")
+        with pytest.raises(ValueError):
+            parse_topics_header("(1 two);v=chrome.1:2:1")
+
+
+class TestObserveHeader:
+    def test_opt_in(self):
+        assert observe_requested(OBSERVE_TRUE)
+        assert observe_requested(" ?1 ")
+
+    def test_absent_or_other(self):
+        assert not observe_requested(None)
+        assert not observe_requested("?0")
+        assert not observe_requested("true")
+        assert not observe_requested("")

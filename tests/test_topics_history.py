@@ -1,0 +1,75 @@
+"""Unit tests for per-epoch browsing history and observed-by bookkeeping."""
+
+from repro.browser.topics.history import BrowsingHistory
+from repro.util.timeline import EPOCH_DURATION
+
+
+class TestRecording:
+    def test_visit_counts_per_epoch(self):
+        history = BrowsingHistory()
+        history.record_page_visit("news.com", at=0)
+        history.record_page_visit("news.com", at=10)
+        history.record_page_visit("news.com", at=EPOCH_DURATION + 1)
+        assert history.visit_count(0, "news.com") == 2
+        assert history.visit_count(1, "news.com") == 1
+        assert history.visit_count(2, "news.com") == 0
+
+    def test_unobserved_site_not_eligible(self):
+        # Spec: only sites where the API was used enter the epoch's
+        # topics computation.
+        history = BrowsingHistory()
+        history.record_page_visit("news.com", at=0)
+        assert history.eligible_sites(0) == []
+
+    def test_observation_makes_site_eligible(self):
+        history = BrowsingHistory()
+        history.record_page_visit("news.com", at=0)
+        history.record_observation("news.com", "ads.com", at=0)
+        assert history.eligible_sites(0) == ["news.com"]
+
+    def test_observers_tracked_per_site(self):
+        history = BrowsingHistory()
+        history.record_observation("news.com", "a.com", at=0)
+        history.record_observation("news.com", "b.com", at=0)
+        history.record_observation("shop.com", "a.com", at=0)
+        assert history.observers_of(0, "news.com") == {"a.com", "b.com"}
+        assert history.observers_of(0, "shop.com") == {"a.com"}
+
+    def test_observers_scoped_to_epoch(self):
+        history = BrowsingHistory()
+        history.record_observation("news.com", "a.com", at=0)
+        assert history.observers_of(1, "news.com") == frozenset()
+
+
+class TestQueries:
+    def test_epochs_listing(self):
+        history = BrowsingHistory()
+        history.record_page_visit("a.com", at=EPOCH_DURATION * 3)
+        history.record_page_visit("b.com", at=0)
+        assert history.epochs() == [0, 3]
+
+    def test_caller_observed_any(self):
+        history = BrowsingHistory()
+        history.record_observation("news.com", "a.com", at=0)
+        assert history.caller_observed_any(0, "a.com", ["news.com", "x.com"])
+        assert not history.caller_observed_any(0, "b.com", ["news.com"])
+        assert not history.caller_observed_any(1, "a.com", ["news.com"])
+
+    def test_empty_epoch_queries(self):
+        history = BrowsingHistory()
+        assert history.eligible_sites(5) == []
+        assert history.visit_count(5, "x.com") == 0
+        assert history.observers_of(5, "x.com") == frozenset()
+
+    def test_prune(self):
+        history = BrowsingHistory()
+        for epoch in range(6):
+            history.record_observation("a.com", "cp.com", at=epoch * EPOCH_DURATION)
+        history.prune_before(4)
+        assert history.epochs() == [4, 5]
+
+    def test_clear(self):
+        history = BrowsingHistory()
+        history.record_observation("a.com", "cp.com", at=0)
+        history.clear()
+        assert history.epochs() == []

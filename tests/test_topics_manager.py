@@ -1,0 +1,145 @@
+"""Unit tests for the instrumented site-data manager (gating + logging)."""
+
+import pytest
+
+from repro.attestation.allowlist import (
+    AllowList,
+    AllowListDatabase,
+    GatingDecision,
+)
+from repro.browser.topics.manager import BrowsingTopicsSiteDataManager
+from repro.browser.topics.selection import EpochTopicsSelector
+from repro.browser.topics.types import ApiCallType
+from repro.taxonomy.classifier import SiteClassifier
+from repro.util.timeline import EPOCH_DURATION
+
+
+def make_manager(allowed=("criteo.com",), corrupt=False):
+    db = AllowListDatabase.from_allowlist(AllowList.of(allowed))
+    if corrupt:
+        db.corrupt()
+    selector = EpochTopicsSelector(SiteClassifier(), user_seed=1)
+    return BrowsingTopicsSiteDataManager(selector, db)
+
+
+class TestGating:
+    def test_enrolled_caller_allowed(self):
+        manager = make_manager()
+        manager.handle_topics_call("bid.criteo.com", "news.com", ApiCallType.FETCH, 0)
+        call = manager.call_log[0]
+        assert call.decision is GatingDecision.ALLOWED_ENROLLED
+        assert call.allowed
+
+    def test_unenrolled_caller_blocked(self):
+        manager = make_manager()
+        topics = manager.handle_topics_call(
+            "www.random-site.com", "random-site.com", ApiCallType.JAVASCRIPT, 0
+        )
+        assert topics == []
+        assert manager.call_log[0].decision is GatingDecision.BLOCKED_NOT_ENROLLED
+
+    def test_blocked_caller_does_not_observe(self):
+        manager = make_manager()
+        manager.handle_topics_call(
+            "www.random-site.com", "random-site.com", ApiCallType.JAVASCRIPT, 0
+        )
+        assert manager.history.eligible_sites(0) == []
+
+    def test_corrupt_database_allows_everyone(self):
+        # The paper's measurement trick: with the corrupted component, all
+        # callers go through and become observable.
+        manager = make_manager(corrupt=True)
+        manager.handle_topics_call(
+            "www.random-site.com", "random-site.com", ApiCallType.JAVASCRIPT, 0
+        )
+        call = manager.call_log[0]
+        assert call.decision is GatingDecision.ALLOWED_DATABASE_CORRUPT
+        assert call.allowed
+
+
+class TestLogging:
+    def test_caller_normalised_to_registrable(self):
+        manager = make_manager()
+        manager.handle_topics_call("bid.criteo.com", "news.com", ApiCallType.FETCH, 5)
+        call = manager.call_log[0]
+        assert call.caller == "criteo.com"
+        assert call.caller_host == "bid.criteo.com"
+        assert call.site == "news.com"
+        assert call.at == 5
+
+    def test_repeated_calls_logged_individually(self):
+        # §2.2: "record possible multiple calls from the same CP on the
+        # same webpage".
+        manager = make_manager()
+        for _ in range(3):
+            manager.handle_topics_call(
+                "bid.criteo.com", "news.com", ApiCallType.JAVASCRIPT, 0
+            )
+        assert manager.call_count == 3
+
+    def test_call_type_recorded(self):
+        manager = make_manager()
+        for call_type in ApiCallType:
+            manager.handle_topics_call("bid.criteo.com", "news.com", call_type, 0)
+        assert [c.call_type for c in manager.call_log] == list(ApiCallType)
+
+    def test_drain_calls_since(self):
+        manager = make_manager()
+        manager.handle_topics_call("bid.criteo.com", "a.com", ApiCallType.FETCH, 0)
+        mark = manager.call_count
+        manager.handle_topics_call("bid.criteo.com", "b.com", ApiCallType.FETCH, 0)
+        drained = manager.drain_calls_since(mark)
+        assert len(drained) == 1 and drained[0].site == "b.com"
+
+    def test_reset_log_keeps_history(self):
+        manager = make_manager()
+        manager.handle_topics_call("bid.criteo.com", "a.com", ApiCallType.FETCH, 0)
+        manager.reset_log()
+        assert manager.call_count == 0
+        assert manager.history.eligible_sites(0) == ["a.com"]
+
+
+class TestObservation:
+    def test_allowed_call_observes_site(self):
+        manager = make_manager()
+        manager.handle_topics_call("bid.criteo.com", "news.com", ApiCallType.FETCH, 0)
+        assert manager.history.observers_of(0, "news.com") == {"criteo.com"}
+
+    def test_skip_observation(self):
+        manager = make_manager()
+        manager.handle_topics_call(
+            "bid.criteo.com", "news.com", ApiCallType.JAVASCRIPT, 0, observe=False
+        )
+        assert manager.history.eligible_sites(0) == []
+
+    def test_topics_returned_after_history_builds(self):
+        manager = make_manager()
+        # Observe across three past epochs, then ask in epoch 3.
+        for epoch in range(3):
+            for i in range(3):
+                manager.handle_topics_call(
+                    "bid.criteo.com",
+                    "news.com",
+                    ApiCallType.JAVASCRIPT,
+                    epoch * EPOCH_DURATION + i,
+                )
+        topics = manager.handle_topics_call(
+            "bid.criteo.com", "other.com", ApiCallType.JAVASCRIPT, 3 * EPOCH_DURATION
+        )
+        assert topics
+        assert manager.call_log[-1].topics_returned == len(topics)
+
+    def test_fresh_profile_returns_no_real_topics(self):
+        manager = make_manager()
+        topics = manager.handle_topics_call(
+            "bid.criteo.com", "news.com", ApiCallType.JAVASCRIPT, 0
+        )
+        assert all(t.is_noise for t in topics)
+
+
+class TestRecordPageVisit:
+    def test_countable_but_not_eligible(self):
+        manager = make_manager()
+        manager.record_page_visit("news.com", 0)
+        assert manager.history.visit_count(0, "news.com") == 1
+        assert manager.history.eligible_sites(0) == []

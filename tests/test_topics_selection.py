@@ -1,0 +1,197 @@
+"""Unit tests for epoch top-5 computation and per-caller answers.
+
+These pin the Topics API semantics of paper §2.1: top-5 per epoch, one
+topic per each of the last three epochs, 5% noise, and the observed-by
+filter.
+"""
+
+import pytest
+
+from repro.browser.topics.history import BrowsingHistory
+from repro.browser.topics.selection import (
+    EPOCHS_PER_CALL,
+    EpochTopicsSelector,
+    NOISE_PROBABILITY,
+    TOP_TOPICS_PER_EPOCH,
+)
+from repro.taxonomy.classifier import SiteClassifier
+from repro.util.timeline import EPOCH_DURATION
+
+
+@pytest.fixture
+def classifier() -> SiteClassifier:
+    classifier = SiteClassifier()
+    # Pin a handful of sites to known topics so counts are controllable.
+    for index, host in enumerate(
+        ("news.com", "shop.com", "cars.com", "food.com", "games.com", "music.com"),
+        start=1,
+    ):
+        classifier.add_override(host, [index])
+    return classifier
+
+
+def observe_n_times(history, site, caller, epoch, times):
+    for i in range(times):
+        at = epoch * EPOCH_DURATION + i
+        history.record_page_visit(site, at)
+        history.record_observation(site, caller, at)
+
+
+class TestEpochTopics:
+    def test_top5_ranked_by_visits(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        observe_n_times(history, "news.com", "cp.com", 0, 5)
+        observe_n_times(history, "shop.com", "cp.com", 0, 3)
+        observe_n_times(history, "cars.com", "cp.com", 0, 1)
+        digest = selector.epoch_topics(history, 0)
+        assert digest.top_topics[0] == 1  # news.com's topic, most visited
+        assert digest.top_topics[1] == 2
+        assert digest.top_topics[2] == 3
+
+    def test_always_five_topics(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        observe_n_times(history, "news.com", "cp.com", 0, 1)
+        digest = selector.epoch_topics(history, 0)
+        assert len(digest.top_topics) == TOP_TOPICS_PER_EPOCH
+        assert digest.padded
+
+    def test_padding_topics_unique(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        digest = selector.epoch_topics(BrowsingHistory(), 0)
+        assert len(set(digest.top_topics)) == TOP_TOPICS_PER_EPOCH
+
+    def test_rich_epoch_not_padded(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        for host in ("news.com", "shop.com", "cars.com", "food.com", "games.com"):
+            observe_n_times(history, host, "cp.com", 0, 2)
+        assert not selector.epoch_topics(history, 0).padded
+
+    def test_digest_cached(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        observe_n_times(history, "news.com", "cp.com", 0, 1)
+        first = selector.epoch_topics(history, 0)
+        observe_n_times(history, "shop.com", "cp.com", 0, 9)
+        assert selector.epoch_topics(history, 0) is first
+        selector.invalidate_epoch(0)
+        assert selector.epoch_topics(history, 0) is not first
+
+
+class TestCallerAnswers:
+    def test_empty_history_returns_nothing_mostly(self, classifier):
+        # Fresh profile: across many callers, answers appear only at the
+        # 5% noise rate — the exact situation of the paper's 1-day crawl.
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        answered = sum(
+            bool(selector.topics_for_caller(history, f"cp{i}.com", 3))
+            for i in range(2000)
+        )
+        rate = answered / 2000
+        assert rate < 3 * NOISE_PROBABILITY
+
+    def test_observer_gets_topic(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        for epoch in range(3):
+            observe_n_times(history, "news.com", "cp.com", epoch, 3)
+        topics = selector.topics_for_caller(history, "cp.com", 3)
+        assert topics
+        assert all(t.topic_id in classifier.taxonomy for t in topics)
+
+    def test_dominant_topic_surfaces_for_observers(self, classifier):
+        # With a full (unpadded) top-5, observers of the dominant site get
+        # its topic for some epoch pick.
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        hosts = ("news.com", "shop.com", "cars.com", "food.com", "games.com")
+        for epoch in range(3):
+            for host in hosts:
+                observe_n_times(history, host, "cp.com", epoch, 2)
+        topics = selector.topics_for_caller(history, "cp.com", 3)
+        assert topics
+        assert all(1 <= t.topic_id <= 6 or t.is_noise for t in topics)
+
+    def test_non_observer_filtered(self, classifier):
+        # The observed-by requirement: a caller that never saw the user
+        # gets no real topics even when history is rich.
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        for epoch in range(3):
+            observe_n_times(history, "news.com", "observer.com", epoch, 3)
+        stranger_real = [
+            t
+            for i in range(200)
+            for t in selector.topics_for_caller(history, f"stranger{i}.com", 3)
+            if not t.is_noise
+        ]
+        assert stranger_real == []
+
+    def test_at_most_three_topics(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        for epoch in range(6):
+            for host in ("news.com", "shop.com", "cars.com"):
+                observe_n_times(history, host, "cp.com", epoch, 2)
+        topics = selector.topics_for_caller(history, "cp.com", 6)
+        assert 1 <= len(topics) <= EPOCHS_PER_CALL
+
+    def test_duplicates_collapsed(self, classifier):
+        # Same dominant topic in all three epochs → the spec deduplicates.
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        for epoch in range(3):
+            observe_n_times(history, "news.com", "cp.com", epoch, 5)
+        topics = selector.topics_for_caller(history, "cp.com", 3)
+        ids = [t.topic_id for t in topics]
+        assert len(set(ids)) == len(ids)
+
+    def test_answers_stable_within_epoch(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        for epoch in range(3):
+            observe_n_times(history, "news.com", "cp.com", epoch, 3)
+        first = selector.topics_for_caller(history, "cp.com", 3)
+        second = selector.topics_for_caller(history, "cp.com", 3)
+        assert first == second
+
+    def test_noise_rate_near_five_percent(self, classifier):
+        selector = EpochTopicsSelector(classifier, user_seed=1)
+        history = BrowsingHistory()
+        for epoch in range(3):
+            for host in ("news.com", "shop.com"):
+                observe_n_times(history, host, "cp.com", epoch, 2)
+        # Noise is per (caller, epoch); measure over many virtual callers
+        # that all observed everything.
+        noisy = real = 0
+        for i in range(700):
+            caller = f"cp{i}.com"
+            for epoch in range(3):
+                observe_n_times(history, "news.com", caller, epoch, 1)
+            for topic in selector.topics_for_caller(history, caller, 3):
+                if topic.is_noise:
+                    noisy += 1
+                else:
+                    real += 1
+        rate = noisy / (noisy + real)
+        assert 0.02 < rate < 0.10
+
+    def test_different_users_different_answers(self, classifier):
+        history = BrowsingHistory()
+        for epoch in range(3):
+            for host in ("news.com", "shop.com", "cars.com", "food.com", "games.com"):
+                observe_n_times(history, host, "cp.com", epoch, 1)
+        picks_a = EpochTopicsSelector(classifier, user_seed=1).topics_for_caller(
+            history, "cp.com", 3
+        )
+        differing = any(
+            EpochTopicsSelector(classifier, user_seed=seed).topics_for_caller(
+                history, "cp.com", 3
+            )
+            != picks_a
+            for seed in range(2, 12)
+        )
+        assert differing

@@ -1,0 +1,129 @@
+"""Unit tests for user profiles, populations and browsing traces."""
+
+import pytest
+
+from repro.taxonomy.tree import load_default_taxonomy
+from repro.users.browsing import TraceGenerator
+from repro.users.population import Population
+from repro.users.profile import generate_profile
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def population() -> Population:
+    return Population.generate(20, seed=3)
+
+
+class TestProfiles:
+    def test_stable_per_user(self):
+        taxonomy = load_default_taxonomy()
+        rng_a = RngStream(5, "population")
+        rng_b = RngStream(5, "population")
+        assert generate_profile(rng_a, 7, taxonomy) == generate_profile(
+            rng_b, 7, taxonomy
+        )
+
+    def test_users_differ(self):
+        taxonomy = load_default_taxonomy()
+        rng = RngStream(5, "population")
+        profiles = [generate_profile(rng, uid, taxonomy) for uid in range(10)]
+        assert len({p.interests for p in profiles}) > 5
+
+    def test_interest_count_bounds(self, population):
+        for profile in population.profiles:
+            assert 1 <= len(profile.interests) <= 8
+
+    def test_interests_valid_topics(self, population):
+        for profile in population.profiles:
+            for topic_id, weight in profile.interests:
+                assert topic_id in population.taxonomy
+                assert weight > 0
+
+    def test_normalised_sums_to_one(self, population):
+        normalised = population.profile(0).normalised()
+        assert sum(w for _, w in normalised) == pytest.approx(1.0)
+
+    def test_weight_of(self, population):
+        profile = population.profile(0)
+        topic, weight = profile.interests[0]
+        assert profile.weight_of(topic) == weight
+        assert profile.weight_of(-1) == 0.0
+
+    def test_validation(self):
+        taxonomy = load_default_taxonomy()
+        with pytest.raises(ValueError):
+            generate_profile(RngStream(1), 0, taxonomy, interests_min=0)
+        with pytest.raises(ValueError):
+            Population.generate(0)
+
+
+class TestPopulation:
+    def test_size(self, population):
+        assert len(population) == 20
+
+    def test_sites_pinned_to_topics(self, population):
+        for node in list(population.taxonomy)[:30]:
+            for host in population.sites_for(node.topic_id):
+                assert population.classifier.classify(host) == (node.topic_id,)
+
+    def test_sites_per_topic(self, population):
+        assert len(population.sites_for(1)) == 3
+
+    def test_deterministic(self):
+        a = Population.generate(10, seed=9)
+        b = Population.generate(10, seed=9)
+        assert [p.interests for p in a.profiles] == [p.interests for p in b.profiles]
+
+
+class TestTraces:
+    def test_history_accumulates_over_epochs(self, population):
+        generator = TraceGenerator(population, callers=["obs.example"])
+        session = generator.run(0, epochs=3)
+        assert set(session.manager.history.epochs()) == {0, 1, 2}
+
+    def test_callers_observe(self, population):
+        generator = TraceGenerator(population, callers=["obs.example"])
+        session = generator.run(0, epochs=2)
+        sites = session.manager.history.eligible_sites(0)
+        assert sites
+        assert all(
+            "obs.example" in session.manager.history.observers_of(0, s)
+            for s in sites
+        )
+
+    def test_topics_reflect_interests(self, population):
+        generator = TraceGenerator(
+            population, callers=["obs.example"], noise_probability=0.0
+        )
+        profile = population.profile(3)
+        session = generator.run(3, epochs=4)
+        topics = session.topics_for("obs.example", epoch=4)
+        assert topics
+        interest_set = set(profile.topic_ids)
+        # With zero noise and a dominant-interest routine, answers come
+        # from the visited (interest) topics or top-5 padding.
+        real = [t.topic_id for t in topics if not t.is_noise]
+        overlapping = [t for t in real if t in interest_set]
+        assert overlapping or not real
+
+    def test_query_does_not_observe(self, population):
+        generator = TraceGenerator(population, callers=["obs.example"])
+        session = generator.run(0, epochs=1)
+        before = session.manager.history.eligible_sites(1)
+        session.topics_for("obs.example", epoch=1)
+        assert session.manager.history.eligible_sites(1) == before
+
+    def test_partial_coverage_reduces_observations(self, population):
+        full = TraceGenerator(population, callers=["obs.example"])
+        partial = TraceGenerator(
+            population, callers=["obs.example"], caller_coverage=0.2
+        )
+        full_count = full.run(1, epochs=2).manager.call_count
+        partial_count = partial.run(1, epochs=2).manager.call_count
+        assert partial_count < full_count
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            TraceGenerator(population, callers=[])
+        with pytest.raises(ValueError):
+            TraceGenerator(population, callers=["a.com"], visits_per_epoch=0)

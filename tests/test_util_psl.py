@@ -1,0 +1,84 @@
+"""Unit tests for public-suffix / registrable-domain logic."""
+
+import pytest
+
+from repro.util.psl import (
+    PublicSuffixList,
+    etld_plus_one,
+    registrable_domain,
+    same_second_level,
+    second_level_name,
+)
+
+
+class TestPublicSuffix:
+    def test_single_label_suffix(self):
+        assert PublicSuffixList().public_suffix("www.example.com") == "com"
+
+    def test_multi_label_suffix(self):
+        assert PublicSuffixList().public_suffix("shop.example.co.uk") == "co.uk"
+
+    def test_unknown_tld_falls_back_to_last_label(self):
+        assert PublicSuffixList().public_suffix("foo.weirdtld") == "weirdtld"
+
+    def test_custom_rules(self):
+        psl = PublicSuffixList(["my.zone"])
+        assert psl.public_suffix("a.b.my.zone") == "my.zone"
+
+    def test_rejects_single_label_rules(self):
+        with pytest.raises(ValueError):
+            PublicSuffixList(["com"])
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize(
+        "hostname,expected",
+        [
+            ("www.example.com", "example.com"),
+            ("example.com", "example.com"),
+            ("a.b.c.example.org", "example.org"),
+            ("www.shop.example.co.uk", "example.co.uk"),
+            ("news.yandex.ru", "yandex.ru"),
+            ("static.sub.site.co.jp", "site.co.jp"),
+        ],
+    )
+    def test_extraction(self, hostname, expected):
+        assert etld_plus_one(hostname) == expected
+
+    def test_bare_suffix_returned_unchanged(self):
+        assert etld_plus_one("com") == "com"
+        assert etld_plus_one("co.uk") == "co.uk"
+
+    def test_case_and_trailing_dot_normalised(self):
+        assert etld_plus_one("WWW.Example.COM.") == "example.com"
+
+    def test_alias(self):
+        assert registrable_domain("www.foo.net") == etld_plus_one("www.foo.net")
+
+    def test_empty_hostname_rejected(self):
+        with pytest.raises(ValueError):
+            etld_plus_one("")
+
+    def test_malformed_hostname_rejected(self):
+        with pytest.raises(ValueError):
+            etld_plus_one("a..b.com")
+
+
+class TestSecondLevelName:
+    def test_paper_example(self):
+        # §4: "the website and CP second-level domains are the same,
+        # e.g. www.foo.com and ad.foo.net"
+        assert second_level_name("www.foo.com") == "foo"
+        assert second_level_name("ad.foo.net") == "foo"
+        assert same_second_level("www.foo.com", "ad.foo.net")
+
+    def test_different_names_do_not_match(self):
+        assert not same_second_level("www.foo.com", "bar.com")
+
+    def test_multi_label_suffix(self):
+        assert second_level_name("www.shop.example.co.uk") == "example"
+
+    def test_same_second_level_is_symmetric(self):
+        assert same_second_level("a.x.com", "b.x.org") == same_second_level(
+            "b.x.org", "a.x.com"
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for the simulated clock and epoch arithmetic."""
+
+import datetime
+
+import pytest
+
+from repro.util.timeline import (
+    EPOCH_DURATION,
+    SimClock,
+    date_of,
+    epoch_index,
+    timestamp_from_date,
+)
+
+
+class TestTimestampConversion:
+    def test_origin_is_zero(self):
+        assert timestamp_from_date(2024, 3, 30) == 0
+
+    def test_one_day(self):
+        assert timestamp_from_date(2024, 3, 31) == 86_400
+
+    def test_before_origin_is_negative(self):
+        assert timestamp_from_date(2023, 6, 16) < 0
+
+    def test_round_trip(self):
+        ts = timestamp_from_date(2024, 10, 17)
+        assert date_of(ts) == datetime.date(2024, 10, 17)
+
+    def test_date_of_mid_epoch(self):
+        assert date_of(3600) == datetime.date(2024, 3, 30)
+
+
+class TestEpochIndex:
+    def test_epoch_zero(self):
+        assert epoch_index(0) == 0
+        assert epoch_index(EPOCH_DURATION - 1) == 0
+
+    def test_epoch_boundaries(self):
+        assert epoch_index(EPOCH_DURATION) == 1
+        assert epoch_index(3 * EPOCH_DURATION) == 3
+
+    def test_negative_epochs_floor(self):
+        assert epoch_index(-1) == -1
+        assert epoch_index(-EPOCH_DURATION) == -1
+        assert epoch_index(-EPOCH_DURATION - 1) == -2
+
+    def test_epoch_is_one_week(self):
+        assert EPOCH_DURATION == 7 * 24 * 3600
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(10) == 10
+        assert clock.now() == 10
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_forward_only(self):
+        clock = SimClock()
+        clock.advance_to(100)
+        assert clock.now() == 100
+        clock.advance_to(50)  # no-op: never move backwards
+        assert clock.now() == 100
+
+    def test_epoch_property(self):
+        clock = SimClock()
+        assert clock.epoch == 0
+        clock.advance(EPOCH_DURATION * 2 + 5)
+        assert clock.epoch == 2

@@ -1,0 +1,89 @@
+"""Unit tests for the URL model and origin serialisation."""
+
+import pytest
+
+from repro.util.urls import Url, https, origin_of, parse_url
+
+
+class TestParse:
+    def test_full_url(self):
+        url = parse_url("https://www.foo.com/ads/tag.js?id=9")
+        assert url.scheme == "https"
+        assert url.host == "www.foo.com"
+        assert url.port == 443
+        assert url.path == "/ads/tag.js"
+        assert url.query == "id=9"
+
+    def test_default_path(self):
+        assert parse_url("https://example.org").path == "/"
+
+    def test_explicit_port(self):
+        assert parse_url("http://localhost:8080/x").port == 8080
+
+    def test_host_lowercased(self):
+        assert parse_url("https://EXAMPLE.org/").host == "example.org"
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_url("/just/a/path")
+
+    def test_unsupported_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            parse_url("ftp://example.org/")
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            parse_url("https://example.org:notaport/")
+
+    def test_round_trip(self):
+        raw = "https://www.foo.com/ads/tag.js?id=9"
+        assert str(parse_url(raw)) == raw
+
+    def test_round_trip_nondefault_port(self):
+        raw = "http://example.org:8080/a"
+        assert str(parse_url(raw)) == raw
+
+
+class TestOrigin:
+    def test_default_port_omitted(self):
+        assert parse_url("https://example.org/a?b=c").origin == "https://example.org"
+
+    def test_nondefault_port_kept(self):
+        assert parse_url("https://example.org:444/").origin == "https://example.org:444"
+
+    def test_origin_of_shorthand(self):
+        assert origin_of("https://a.b.c/d") == "https://a.b.c"
+
+    def test_path_does_not_affect_origin(self):
+        assert (
+            parse_url("https://x.com/1").origin == parse_url("https://x.com/2").origin
+        )
+
+
+class TestUrlType:
+    def test_https_constructor(self):
+        url = https("cdn.example.com", "/lib.js")
+        assert str(url) == "https://cdn.example.com/lib.js"
+
+    def test_with_path(self):
+        base = https("example.com")
+        assert str(base.with_path("/p", "q=1")) == "https://example.com/p?q=1"
+
+    def test_validation_relative_path(self):
+        with pytest.raises(ValueError):
+            Url("https", "example.com", 443, "relative")
+
+    def test_validation_empty_host(self):
+        with pytest.raises(ValueError):
+            Url("https", "", 443)
+
+    def test_validation_uppercase_host(self):
+        with pytest.raises(ValueError):
+            Url("https", "EXAMPLE.com", 443)
+
+    def test_validation_port_range(self):
+        with pytest.raises(ValueError):
+            Url("https", "example.com", 0)
+
+    def test_hashable(self):
+        assert len({https("a.com"), https("a.com"), https("b.com")}) == 2

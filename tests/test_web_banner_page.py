@@ -1,0 +1,81 @@
+"""Unit tests for consent banners and the page/DOM model."""
+
+import pytest
+
+from repro.util.urls import https
+from repro.web.banner import (
+    ConsentBanner,
+    SUPPORTED_ACCEPT_KEYWORDS,
+    all_languages,
+    languages_with_odd_phrases,
+    odd_phrase,
+    standard_phrase,
+)
+from repro.web.page import (
+    IFrameTag,
+    PageModel,
+    ResourceTag,
+    ScriptKind,
+    ScriptTag,
+)
+
+
+class TestBannerLanguages:
+    def test_five_supported_languages(self):
+        # Priv-Accept supports exactly five (paper footnote 5).
+        assert set(SUPPORTED_ACCEPT_KEYWORDS) == {"en", "fr", "es", "de", "it"}
+
+    def test_standard_phrases_for_every_language(self):
+        for language in all_languages():
+            assert standard_phrase(language, 0)
+
+    def test_variant_indexing_wraps(self):
+        assert standard_phrase("en", 0) == standard_phrase("en", 1000)
+
+    def test_odd_phrases_only_for_supported(self):
+        assert set(languages_with_odd_phrases()) == set(SUPPORTED_ACCEPT_KEYWORDS)
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(ValueError):
+            standard_phrase("xx", 0)
+        with pytest.raises(ValueError):
+            odd_phrase("ru", 0)
+
+    def test_language_supported_property(self):
+        banner = ConsentBanner("de", "Zustimmen", None, True)
+        assert banner.language_supported
+        assert not ConsentBanner("ja", "同意します", None, True).language_supported
+
+
+class TestPageModel:
+    def _page(self) -> PageModel:
+        page = PageModel(url=https("www.site.com"))
+        page.scripts.append(ScriptTag(src=https("static.ads.net", "/tag.js")))
+        page.iframes.append(IFrameTag(src=https("frame.ads.net", "/f.html")))
+        page.resources.append(ResourceTag(src=https("www.site.com", "/logo.png")))
+        return page
+
+    def test_third_party_hosts_excludes_page_host(self):
+        hosts = self._page().third_party_hosts()
+        assert hosts == {"static.ads.net", "frame.ads.net"}
+
+    def test_render_html_contains_tags(self):
+        page = self._page()
+        page.banner = ConsentBanner("en", "Accept all", "OneTrust", True)
+        html = page.render_html()
+        assert "https://static.ads.net/tag.js" in html
+        assert "<iframe" in html
+        assert "Accept all" in html
+
+    def test_browsingtopics_attribute_rendered(self):
+        page = PageModel(url=https("www.site.com"))
+        page.iframes.append(
+            IFrameTag(src=https("ads.net", "/f"), browsingtopics_attr=True)
+        )
+        assert "browsingtopics" in page.render_html()
+
+    def test_script_kinds(self):
+        assert ScriptKind.TAG_MANAGER.value == "tag-manager"
+        tag = ScriptTag(src=https("x.com", "/s.js"), kind=ScriptKind.AD_TAG)
+        assert not tag.rogue_topics_call
+        assert tag.rogue_call_count == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the entity-ownership database."""
+
+import pytest
+
+from repro.web.entities import EntityDatabase, WELL_KNOWN_ENTITIES
+
+
+class TestWellKnownEntities:
+    def test_paper_examples_present(self):
+        db = EntityDatabase()
+        # §4's example pair.
+        assert db.same_entity("windows.com", "microsoft.com")
+        # Figure 5 lists both Yandex domains.
+        assert db.same_entity("yandex.com", "yandex.ru")
+
+    def test_google_family(self):
+        db = EntityDatabase()
+        assert db.entity_of("googletagmanager.com") == "Google"
+        assert db.same_entity("doubleclick.net", "google-analytics.com")
+
+    def test_cross_entity_no_match(self):
+        db = EntityDatabase()
+        assert not db.same_entity("criteo.com", "taboola.com")
+
+
+class TestEntityDatabase:
+    def test_unknown_domains_never_match(self):
+        db = EntityDatabase()
+        assert not db.same_entity("unknown-a.com", "unknown-a.com")
+        assert db.entity_of("unknown-a.com") is None
+
+    def test_subdomains_resolve_to_owner(self):
+        db = EntityDatabase()
+        assert db.entity_of("ads.doubleclick.net") == "Google"
+
+    def test_add_and_lookup(self):
+        db = EntityDatabase(groups={})
+        db.add("Acme", "acme.com")
+        db.add("Acme", "acme-cdn.net")
+        assert db.same_entity("www.acme.com", "static.acme-cdn.net")
+        assert db.domains_of("Acme") == {"acme.com", "acme-cdn.net"}
+
+    def test_readd_same_entity_is_noop(self):
+        db = EntityDatabase(groups={})
+        db.add("Acme", "acme.com")
+        db.add("Acme", "acme.com")
+        assert len(db) == 1
+
+    def test_domain_cannot_change_owner(self):
+        db = EntityDatabase(groups={})
+        db.add("Acme", "acme.com")
+        with pytest.raises(ValueError):
+            db.add("Other", "acme.com")
+
+    def test_entities_sorted(self):
+        db = EntityDatabase(groups={"B": ["b.com"], "A": ["a.com"]})
+        assert db.entities() == ["A", "B"]
+
+    def test_len_counts_domains(self):
+        expected = sum(len(domains) for domains in WELL_KNOWN_ENTITIES.values())
+        assert len(EntityDatabase()) == expected

@@ -1,0 +1,70 @@
+"""Unit tests for TLD regions (Figure 6's buckets)."""
+
+import pytest
+
+from repro.web.tlds import (
+    EU_TLDS,
+    OTHER_TLDS,
+    REGION_TLD_POOLS,
+    Region,
+    region_of_domain,
+    region_of_tld,
+)
+
+
+class TestRegionOfTld:
+    @pytest.mark.parametrize(
+        "tld,region",
+        [
+            ("com", Region.COM),
+            ("jp", Region.JP),
+            ("co.jp", Region.JP),
+            ("ru", Region.RU),
+            ("com.ru", Region.RU),
+            ("de", Region.EU),
+            ("fr", Region.EU),
+            ("eu", Region.EU),
+            ("co.uk", Region.OTHER),  # UK is not in the EU bucket
+            ("uk", Region.OTHER),
+            ("io", Region.OTHER),
+            ("com.br", Region.OTHER),
+        ],
+    )
+    def test_bucketing(self, tld, region):
+        assert region_of_tld(tld) is region
+
+    def test_case_and_dot_insensitive(self):
+        assert region_of_tld(".DE") is Region.EU
+
+    def test_thirty_eu_tlds(self):
+        # The paper: "30 TLDs for EU countries where the GDPR is in force".
+        assert len(EU_TLDS) == 30
+
+
+class TestRegionOfDomain:
+    @pytest.mark.parametrize(
+        "domain,region",
+        [
+            ("yandex.ru", Region.RU),
+            ("example.com", Region.COM),
+            ("shop.co.jp", Region.JP),
+            ("zeitung.de", Region.EU),
+            ("site.co.uk", Region.OTHER),
+        ],
+    )
+    def test_bucketing(self, domain, region):
+        assert region_of_domain(domain) is region
+
+
+class TestPools:
+    def test_every_region_has_a_pool(self):
+        assert set(REGION_TLD_POOLS) == set(Region)
+
+    def test_pool_tlds_bucket_back_to_their_region(self):
+        for region, pool in REGION_TLD_POOLS.items():
+            for tld, _ in pool:
+                assert region_of_tld(tld) is region, (region, tld)
+
+    def test_other_pool_has_no_eu_leakage(self):
+        for tld in OTHER_TLDS:
+            assert region_of_tld(tld) is Region.OTHER

@@ -1,0 +1,60 @@
+"""Unit tests for the Tranco-style ranking artefact."""
+
+import pytest
+
+from repro.web.tranco import TrancoList
+
+
+class TestTrancoList:
+    def test_iter_yields_ranks_from_one(self):
+        ranking = TrancoList.of(["a.com", "b.com", "c.com"])
+        assert list(ranking) == [(1, "a.com"), (2, "b.com"), (3, "c.com")]
+
+    def test_rank_of(self):
+        ranking = TrancoList.of(["a.com", "b.com"])
+        assert ranking.rank_of("b.com") == 2
+        with pytest.raises(ValueError):
+            ranking.rank_of("missing.com")
+
+    def test_top(self):
+        ranking = TrancoList.of([f"s{i}.com" for i in range(10)])
+        assert len(ranking.top(3)) == 3
+        assert ranking.top(3).domains == ranking.domains[:3]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            TrancoList.of(["a.com", "a.com"])
+
+    def test_csv_round_trip(self, tmp_path):
+        ranking = TrancoList.of(["a.com", "b.org", "c.co.uk"])
+        path = tmp_path / "tranco.csv"
+        ranking.to_csv(path)
+        assert TrancoList.from_csv(path).domains == ranking.domains
+
+    def test_csv_format(self, tmp_path):
+        path = tmp_path / "tranco.csv"
+        TrancoList.of(["a.com"]).to_csv(path)
+        assert path.read_text() == "1,a.com\n"
+
+    def test_csv_rank_continuity_enforced(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,a.com\n3,b.com\n")
+        with pytest.raises(ValueError):
+            TrancoList.from_csv(path)
+
+    def test_csv_bad_rank_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("one,a.com\n")
+        with pytest.raises(ValueError):
+            TrancoList.from_csv(path)
+
+    def test_csv_missing_domain_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,\n")
+        with pytest.raises(ValueError):
+            TrancoList.from_csv(path)
+
+    def test_csv_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text("1,a.com\n\n2,b.com\n")
+        assert len(TrancoList.from_csv(path)) == 2

@@ -1,0 +1,82 @@
+"""Tests for vantage-point modelling (§6's single-location limitation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.crawler.campaign import CrawlCampaign
+from repro.web.config import WorldConfig
+from repro.web.generator import WebGenerator
+from repro.web.tlds import Region
+from repro.web.vantage import (
+    EU_VANTAGE,
+    OTHER_VANTAGE,
+    US_VANTAGE,
+    vantage_by_name,
+)
+
+
+class TestVantagePoints:
+    def test_lookup(self):
+        assert vantage_by_name("eu") is EU_VANTAGE
+        assert vantage_by_name("us") is US_VANTAGE
+        with pytest.raises(KeyError):
+            vantage_by_name("mars")
+
+    def test_eu_is_identity(self):
+        base = {region: 0.5 for region in Region}
+        assert EU_VANTAGE.scaled_banner_probability(base) == base
+
+    def test_us_reduces_banners(self):
+        base = {region: 0.5 for region in Region}
+        scaled = US_VANTAGE.scaled_banner_probability(base)
+        assert scaled[Region.COM] < base[Region.COM]
+        assert scaled[Region.EU] <= base[Region.EU]
+
+    def test_scaling_caps_at_one(self):
+        boosted = dataclasses.replace(
+            US_VANTAGE, banner_multiplier={Region.COM: 5.0}
+        )
+        scaled = boosted.scaled_banner_probability({Region.COM: 0.9})
+        assert scaled[Region.COM] == 1.0
+
+    def test_gdpr_flags(self):
+        assert EU_VANTAGE.gdpr_protected
+        assert not US_VANTAGE.gdpr_protected
+        assert not OTHER_VANTAGE.gdpr_protected
+
+
+class TestVantageCrawls:
+    @pytest.fixture(scope="class")
+    def us_crawl(self):
+        config = WorldConfig.small(3_000)
+        config.vantage = US_VANTAGE
+        world = WebGenerator(config).generate()
+        return CrawlCampaign(world, corrupt_allowlist=True).run()
+
+    def test_config_effective_probabilities(self):
+        config = WorldConfig.small(1_000)
+        config.vantage = US_VANTAGE
+        effective = config.effective_banner_probability()
+        assert effective[Region.COM] < config.banner_probability[Region.COM]
+
+    def test_us_vantage_fewer_banners(self, us_crawl, crawl):
+        # Compare banner rates, which scale-independently reflect vantage.
+        us_rate = us_crawl.report.banners_seen / us_crawl.report.ok
+        eu_rate = crawl.report.banners_seen / crawl.report.ok
+        assert us_rate < 0.85 * eu_rate
+
+    def test_us_vantage_smaller_daa(self, us_crawl, crawl):
+        us_accept = us_crawl.report.accept_rate
+        eu_accept = crawl.report.accept_rate
+        assert us_accept < 0.85 * eu_accept
+
+    def test_us_vantage_more_preconsent_exposure(self, us_crawl):
+        # Fewer banners ⇒ more sites load ad tags pre-consent, so the
+        # Before-Accept object logs contain more gated-category parties.
+        ad_presence = sum(
+            1
+            for record in us_crawl.d_ba
+            if "criteo.com" in record.third_parties
+        )
+        assert ad_presence > 0
