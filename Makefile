@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-small study experiments examples clean
+.PHONY: install test bench bench-small bench-obs study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -16,6 +16,11 @@ bench:
 # Reduced-scale benches for quick iteration.
 bench-small:
 	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Tracing overhead trajectory: crawl throughput with instrumentation
+# off (the no-op default) and on, side by side.
+bench-obs:
+	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/bench_crawl_throughput.py --benchmark-only
 
 study:
 	$(PY) -m repro study

@@ -4,12 +4,15 @@ Not a paper artefact — these measure the simulator itself, so regressions
 in the substrate are visible independent of the analyses.
 """
 
+import time
+
 from conftest import bench_config, show
 
 from repro.browser.browser import Browser
 from repro.browser.context import root_context_for
 from repro.browser.topics.api import TopicsApi
 from repro.crawler.campaign import CrawlCampaign
+from repro.obs import MetricsRegistry, Tracer
 from repro.util.urls import https
 from repro.web.generator import WebGenerator
 
@@ -24,6 +27,45 @@ def test_crawl_throughput(benchmark, world):
         f"(paper: 50k sites in about one day of wall-clock crawling)",
     )
     assert result.report.ok > 0
+
+
+def test_crawl_throughput_instrumented(benchmark, world):
+    """Same crawl with full tracing + metrics on, vs. the no-op default.
+
+    ``test_crawl_throughput`` above runs with the default ``NULL_TRACER``/
+    ``NULL_METRICS`` (instrumentation *disabled*), so the pair tracks both
+    ends: the disabled cost rides the plain throughput trajectory, and
+    this test prints the enabled-mode overhead against an in-run baseline.
+    """
+    baseline_started = time.perf_counter()
+    CrawlCampaign(world, corrupt_allowlist=True, limit=2_000).run()
+    baseline_seconds = time.perf_counter() - baseline_started
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    campaign = CrawlCampaign(
+        world, corrupt_allowlist=True, limit=2_000, tracer=tracer, metrics=metrics
+    )
+    instrumented_started = time.perf_counter()
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    instrumented_seconds = time.perf_counter() - instrumented_started
+
+    overhead = (
+        instrumented_seconds / baseline_seconds - 1 if baseline_seconds else 0.0
+    )
+    snapshot = metrics.snapshot()
+    show(
+        "Crawl throughput, instrumented",
+        f"uninstrumented {baseline_seconds:.2f}s vs instrumented "
+        f"{instrumented_seconds:.2f}s ({overhead:+.1%} with tracing ON; "
+        f"tracing OFF is the no-op default measured above)\n"
+        f"{tracer.emitted:,} events emitted ({tracer.dropped:,} dropped), "
+        f"{int(snapshot.counter_total('topics_calls_total')):,} topics calls, "
+        f"{int(snapshot.counter_total('attestation_probes_total')):,} "
+        f"attestation probes",
+    )
+    assert result.report.ok > 0
+    assert tracer.emitted > 0
+    assert snapshot.counter_total("browser_visits_total") > 0
 
 
 def test_world_generation(benchmark):

@@ -11,7 +11,9 @@ datasets plus the enrolment artefacts:
 * :mod:`repro.analysis.questionable` — Figures 5 and 6;
 * :mod:`repro.analysis.cmp_analysis` — Figure 7;
 * :mod:`repro.analysis.enrollment` — §3's enrolment timeline;
-* :mod:`repro.analysis.report` — plain-text rendering of every artefact.
+* :mod:`repro.analysis.report` — plain-text rendering of every artefact;
+* :mod:`repro.analysis.obs_report` — campaign metrics digest and the
+  sequential-vs-sharded snapshot cross-check.
 """
 
 from repro.analysis.abtest import AlternationFinding, EnabledRate, detect_alternation, figure3

@@ -23,6 +23,7 @@ from repro.browser.failures import failure_kind_for
 from repro.browser.topics.api import TopicsApi
 from repro.browser.topics.manager import BrowsingTopicsSiteDataManager, TopicsApiCall
 from repro.browser.topics.selection import EpochTopicsSelector
+from repro.obs import EventKind, NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from repro.taxonomy.classifier import SiteClassifier
 from repro.util.text import stable_digest
 from repro.util.timeline import SimClock
@@ -70,8 +71,12 @@ class Browser:
         script_origin_mode: ScriptOriginMode = ScriptOriginMode.EMBEDDER,
         third_party_cookies: bool = True,
         topics_enabled: bool = True,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self._world = world
+        self._tracer = tracer
+        self._metrics = metrics
         self.clock = clock if clock is not None else SimClock()
         self.consent = ConsentLedger()
         self.cookie_jar = CookieJar(third_party_cookies_enabled=third_party_cookies)
@@ -97,7 +102,7 @@ class Browser:
             allowlist_db=self.allowlist_db,
             topics_enabled=topics_enabled,
         )
-        self._api = TopicsApi(self.topics_manager)
+        self._api = TopicsApi(self.topics_manager, tracer=tracer, metrics=metrics)
         self._network = NetworkStack(BrowserCache())
         self._runtime = ScriptRuntime(
             world, self._api, self._network, script_origin_mode, self.cookie_tracker
@@ -115,6 +120,23 @@ class Browser:
         """Re-install a healthy allow-list component (browser restart)."""
         self.allowlist_db.update(self._world.registry.allowlist().serialize())
 
+    # -- instrumentation ------------------------------------------------------------
+
+    def _trace_failed_visit(
+        self, domain: str, error: str, load_seconds: int
+    ) -> None:
+        self._metrics.counter("browser_visits_total", outcome="failed")
+        self._metrics.counter("browser_failures_total", kind=error)
+        self._metrics.observe("visit_seconds", load_seconds, outcome="failed")
+        self._tracer.emit(
+            EventKind.VISIT_FINISHED,
+            at=self.clock.now(),
+            domain=domain,
+            ok=False,
+            error=error,
+            load_seconds=load_seconds,
+        )
+
     # -- navigation -----------------------------------------------------------------
 
     def visit(self, domain: str, consent_granted: bool | None = None) -> VisitOutcome:
@@ -126,10 +148,21 @@ class Browser:
         self._visit_counter += 1
         # Page loads pace the simulated clock; ~1.5 s per visit lands a
         # 50k-site double crawl in about a day, as in the paper.
-        self.clock.advance(1 + stable_digest("visit", str(self._visit_counter)) % 2)
+        load_seconds = 1 + stable_digest("visit", str(self._visit_counter)) % 2
+        self.clock.advance(load_seconds)
+        instrumented = self._tracer.enabled or self._metrics.enabled
+        if instrumented:
+            self._tracer.emit(
+                EventKind.VISIT_STARTED,
+                at=self.clock.now(),
+                domain=domain,
+                visit_index=self._visit_counter,
+            )
 
         site = self._world.resolve(domain)
         if site is None:
+            if instrumented:
+                self._trace_failed_visit(domain, ERROR_UNKNOWN_HOST, load_seconds)
             return VisitOutcome(
                 requested_domain=domain, ok=False, error=ERROR_UNKNOWN_HOST
             )
@@ -138,6 +171,16 @@ class Browser:
             # Transient timeouts recover on a subsequent attempt.
             if not (site.transient_failure and self._failed_attempts[domain] >= 2):
                 kind = failure_kind_for(domain, site.transient_failure)
+                if instrumented:
+                    self._tracer.emit(
+                        EventKind.FAILURE_INJECTED,
+                        at=self.clock.now(),
+                        domain=domain,
+                        failure_kind=kind.value,
+                        transient=site.transient_failure,
+                        attempt=self._failed_attempts[domain],
+                    )
+                    self._trace_failed_visit(domain, kind.value, load_seconds)
                 return VisitOutcome(
                     requested_domain=domain, ok=False, error=kind.value
                 )
@@ -185,6 +228,20 @@ class Browser:
                 )
 
         calls = tuple(self.topics_manager.drain_calls_since(call_mark))
+        if instrumented:
+            self._metrics.counter("browser_visits_total", outcome="ok")
+            self._metrics.observe("visit_seconds", load_seconds, outcome="ok")
+            self._tracer.emit(
+                EventKind.VISIT_FINISHED,
+                at=self.clock.now(),
+                domain=domain,
+                ok=True,
+                final_domain=final_site.domain,
+                consent_granted=consent_granted,
+                third_parties=len(log.third_party_domains(page_domain)),
+                topics_calls=len(calls),
+                load_seconds=load_seconds,
+            )
         return VisitOutcome(
             requested_domain=domain,
             ok=True,

@@ -77,18 +77,29 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.analysis.obs_report import build_metrics_report, render_metrics_report
+    from repro.obs import MetricsRegistry, NULL_METRICS, NULL_TRACER, Tracer
+
+    instrument = bool(args.trace_out or args.metrics_out)
+    tracer = Tracer() if instrument else NULL_TRACER
+    metrics = MetricsRegistry() if instrument else NULL_METRICS
+
     world = WebGenerator(_world_config(args)).generate()
     if args.shards > 1:
         result = ShardedCrawl(
             world,
             shard_count=args.shards,
             corrupt_allowlist=not args.healthy_allowlist,
+            tracer=tracer,
+            metrics=metrics,
         ).run()
     else:
         result = CrawlCampaign(
             world,
             corrupt_allowlist=not args.healthy_allowlist,
             limit=args.limit,
+            tracer=tracer,
+            metrics=metrics,
         ).run()
     report = result.report
     print(
@@ -97,6 +108,18 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     )
     save_crawl(result, args.out)
     print(f"archived campaign under {args.out}/")
+    if args.trace_out:
+        tracer.to_jsonl(args.trace_out)
+        print(
+            f"wrote {len(tracer):,} trace events to {args.trace_out}"
+            + (f" ({tracer.dropped:,} dropped)" if tracer.dropped else "")
+        )
+    if args.metrics_out:
+        metrics.snapshot().save(args.metrics_out)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    if instrument:
+        print()
+        print(render_metrics_report(build_metrics_report(metrics.snapshot())))
     return 0
 
 
@@ -231,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--healthy-allowlist",
         action="store_true",
         help="keep the enrolment allow-list intact (anomalous calls blocked)",
+    )
+    crawl.add_argument(
+        "--trace-out",
+        help="write the structured event trace (JSONL) to this file",
+    )
+    crawl.add_argument(
+        "--metrics-out",
+        help="write the metrics snapshot (JSON) to this file",
     )
     crawl.set_defaults(func=_cmd_crawl)
 

@@ -31,6 +31,7 @@ from repro.crawler.dataset import (
 )
 from repro.crawler.privaccept import BannerDetection, PrivAccept
 from repro.crawler.wellknown import AttestationSurvey, survey_attestations
+from repro.obs import EventKind, NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from repro.util.timeline import SimClock
 
 if TYPE_CHECKING:
@@ -75,6 +76,25 @@ class CrawlResult:
     survey: AttestationSurvey
 
 
+def attestation_targets(
+    d_ba: Dataset, d_aa: Dataset, allowed: frozenset[str]
+) -> set[str]:
+    """The parties whose attestation files a campaign must survey.
+
+    "For every first and third party we encounter" (paper §2.3): every
+    third party from *both* datasets (a party may first appear only
+    After-Accept, behind a consent gate), every visited and
+    redirected-to first party, plus the full allow-list.  Sequential and
+    sharded campaigns both build their survey from this one helper so
+    the two execution modes cannot drift apart.
+    """
+    encountered = d_ba.unique_third_parties() | d_aa.unique_third_parties()
+    encountered.update(record.domain for record in d_ba)
+    encountered.update(record.final_domain for record in d_ba)
+    encountered.update(allowed)
+    return encountered
+
+
 class CrawlCampaign:
     """Drives a :class:`Browser` over a world's Tranco ranking."""
 
@@ -87,6 +107,9 @@ class CrawlCampaign:
         progress: Callable[[int, int], None] | None = None,
         script_origin_mode: ScriptOriginMode = ScriptOriginMode.EMBEDDER,
         retries: int = 0,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
+        survey: bool = True,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -98,6 +121,12 @@ class CrawlCampaign:
         self._script_origin_mode = script_origin_mode
         self._retries = retries
         self._privaccept = PrivAccept()
+        self._tracer = tracer
+        self._metrics = metrics
+        # Shard campaigns skip the survey: the merge rebuilds it over the
+        # full campaign's encountered set (per-shard surveys would be
+        # discarded — and double-count the attestation metrics).
+        self._survey = survey
 
     def run(self) -> CrawlResult:
         """Execute the full Before/After protocol."""
@@ -107,12 +136,16 @@ class CrawlCampaign:
         # browser's database — the paper keeps the June 6 file for analysis.
         allowed = frozenset(world.registry.allowed_domains())
 
+        tracer, metrics = self._tracer, self._metrics
+        instrumented = tracer.enabled or metrics.enabled
         browser = Browser(
             world,
             clock=clock,
             corrupt_allowlist=self._corrupt_allowlist,
             user_seed=self._user_seed,
             script_origin_mode=self._script_origin_mode,
+            tracer=tracer,
+            metrics=metrics,
         )
 
         d_ba = Dataset("D_BA")
@@ -133,14 +166,21 @@ class CrawlCampaign:
                 if before.ok:
                     break
                 report.retried += 1
+                metrics.counter("crawl_retries_total")
                 before = browser.visit(domain)
                 if before.ok:
                     report.recovered += 1
+                    metrics.counter("crawl_recoveries_total")
             if not before.ok:
                 report.failed += 1
                 report.failure_kinds[before.error] = (
                     report.failure_kinds.get(before.error, 0) + 1
                 )
+                if instrumented:
+                    metrics.counter(
+                        "crawl_visits_total", phase=PHASE_BEFORE, outcome="failed"
+                    )
+                    metrics.counter("crawl_failures_total", kind=before.error)
                 continue
             report.ok += 1
 
@@ -148,6 +188,26 @@ class CrawlCampaign:
             if detection.banner_found:
                 report.banners_seen += 1
             d_ba.add(self._record(rank, before, PHASE_BEFORE, detection, world))
+
+            if instrumented:
+                metrics.counter(
+                    "crawl_visits_total", phase=PHASE_BEFORE, outcome="ok"
+                )
+                banner_result = (
+                    "accepted"
+                    if detection.accept_clicked
+                    else "missed" if detection.banner_found else "none"
+                )
+                metrics.counter("crawl_banners_total", result=banner_result)
+                self._tracer.emit(
+                    EventKind.BANNER_INTERACTION,
+                    at=clock.now(),
+                    domain=domain,
+                    banner_found=detection.banner_found,
+                    accept_clicked=detection.accept_clicked,
+                    language=detection.matched_language,
+                    keyword=detection.matched_keyword,
+                )
 
             if not detection.accept_clicked:
                 # No After-Accept visit when consent could not be granted
@@ -159,14 +219,22 @@ class CrawlCampaign:
             after = browser.visit(domain)
             if after.ok:
                 d_aa.add(self._record(rank, after, PHASE_AFTER, detection, world))
+                metrics.counter(
+                    "crawl_visits_total", phase=PHASE_AFTER, outcome="ok"
+                )
 
         report.finished_at = clock.now()
+        if instrumented:
+            metrics.gauge("crawl_targets", report.targets)
+            metrics.gauge("crawl_duration_seconds", report.duration_seconds)
 
-        encountered = d_ba.unique_third_parties() | d_aa.unique_third_parties()
-        encountered.update(record.domain for record in d_ba)
-        encountered.update(record.final_domain for record in d_ba)
-        encountered.update(allowed)
-        survey = survey_attestations(world, encountered, clock.now())
+        if self._survey:
+            encountered = attestation_targets(d_ba, d_aa, allowed)
+            survey = survey_attestations(
+                world, encountered, clock.now(), tracer=tracer, metrics=metrics
+            )
+        else:
+            survey = AttestationSurvey(())
 
         return CrawlResult(
             d_ba=d_ba,

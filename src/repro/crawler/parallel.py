@@ -7,6 +7,18 @@ order-independent*: every shard gets its own browser (history, cache,
 consent ledger, clock) and its own user seed, so the merged datasets are
 identical no matter how the executor schedules the work — which the tests
 pin by comparing against the sequential campaign shard-by-shard.
+
+The merge must reproduce what :meth:`CrawlCampaign.run` would have done
+over the whole ranking: the attestation survey is built from the shared
+:func:`repro.crawler.campaign.attestation_targets` helper (both datasets,
+not just ``D_BA``), and the merged report keeps honest timestamps —
+``started_at`` is the earliest shard start, ``finished_at`` the latest
+shard finish, so ``duration_seconds`` stays the parallel wall-clock.
+
+With instrumentation on, every shard records into its own tracer and
+metrics registry (no cross-thread sharing); the merge replays shard
+events into the campaign-level tracer tagged with the shard index and
+folds the metric snapshots together, adding per-shard skew gauges.
 """
 
 from __future__ import annotations
@@ -15,10 +27,21 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.crawler.campaign import CrawlCampaign, CrawlReport, CrawlResult
+from repro.crawler.campaign import (
+    CrawlCampaign,
+    CrawlReport,
+    CrawlResult,
+    attestation_targets,
+)
 from repro.crawler.dataset import Dataset
 from repro.crawler.wellknown import survey_attestations
-from repro.util.timeline import SimClock
+from repro.obs import (
+    EventKind,
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.web.tranco import TrancoList
 
 if TYPE_CHECKING:
@@ -59,6 +82,15 @@ def plan_shards(tranco: TrancoList, shard_count: int) -> list[ShardPlan]:
     return [plan for plan in plans if plan.domains]
 
 
+@dataclass
+class _ShardOutcome:
+    """One shard's result plus its private instrumentation."""
+
+    result: CrawlResult
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+
 class ShardedCrawl:
     """Run a campaign as N independent shards and merge the results."""
 
@@ -68,19 +100,34 @@ class ShardedCrawl:
         shard_count: int = 4,
         corrupt_allowlist: bool = True,
         max_workers: int | None = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self._world = world
         self._shard_count = shard_count
         self._corrupt_allowlist = corrupt_allowlist
         self._max_workers = max_workers or shard_count
+        self._tracer = tracer
+        self._metrics = metrics
 
     def run(self) -> CrawlResult:
         plans = plan_shards(self._world.tranco, self._shard_count)
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            shard_results = list(pool.map(self._run_shard, plans))
-        return self._merge(plans, shard_results)
+            outcomes = list(pool.map(self._run_shard, plans))
+        return self._merge(plans, outcomes)
 
-    def _run_shard(self, plan: ShardPlan) -> CrawlResult:
+    def _run_shard(self, plan: ShardPlan) -> _ShardOutcome:
+        # Each shard records into private instrumentation so worker
+        # threads never contend; the merge folds them deterministically.
+        tracer = Tracer() if self._tracer.enabled else NULL_TRACER
+        metrics = MetricsRegistry() if self._metrics.enabled else NULL_METRICS
+        tracer.emit(
+            EventKind.SHARD_STARTED,
+            at=0,
+            shard=plan.shard_index,
+            domains=len(plan.domains),
+            rank_offset=plan.rank_offset,
+        )
         # A private ranking restores the shard's global ranks via the
         # campaign's enumerate; we rebase rank numbers during the merge.
         shard_world = _ShardView(self._world, TrancoList(plan.domains))
@@ -88,18 +135,22 @@ class ShardedCrawl:
             shard_world,  # type: ignore[arg-type]  # structural stand-in
             corrupt_allowlist=self._corrupt_allowlist,
             user_seed=plan.shard_index,
+            tracer=tracer,
+            metrics=metrics,
+            survey=False,
         )
-        return campaign.run()
+        return _ShardOutcome(result=campaign.run(), tracer=tracer, metrics=metrics)
 
     def _merge(
-        self, plans: list[ShardPlan], results: list[CrawlResult]
+        self, plans: list[ShardPlan], outcomes: list[_ShardOutcome]
     ) -> CrawlResult:
         merged_ba = Dataset("D_BA")
         merged_aa = Dataset("D_AA")
         report = CrawlReport()
-        clock = SimClock()
+        instrumented = self._tracer.enabled or self._metrics.enabled
 
-        for plan, result in zip(plans, results):
+        for position, (plan, outcome) in enumerate(zip(plans, outcomes)):
+            result = outcome.result
             for record in result.d_ba:
                 merged_ba.add(_rebase_rank(record, plan.rank_offset))
             for record in result.d_aa:
@@ -109,16 +160,60 @@ class ShardedCrawl:
             report.failed += result.report.failed
             report.banners_seen += result.report.banners_seen
             report.accepted += result.report.accepted
-            # Wall-clock of a parallel campaign is the slowest shard.
+            report.retried += result.report.retried
+            report.recovered += result.report.recovered
+            for kind, count in result.report.failure_kinds.items():
+                report.failure_kinds[kind] = (
+                    report.failure_kinds.get(kind, 0) + count
+                )
+            # Honest campaign timestamps: the parallel campaign starts
+            # when the first shard starts and finishes when the slowest
+            # one does, so duration_seconds stays the wall-clock.
+            if position == 0:
+                report.started_at = result.report.started_at
+            else:
+                report.started_at = min(
+                    report.started_at, result.report.started_at
+                )
             report.finished_at = max(
-                report.finished_at, result.report.duration_seconds
+                report.finished_at, result.report.finished_at
             )
 
+            if instrumented:
+                self._tracer.replay(outcome.tracer, shard=plan.shard_index)
+                self._metrics.absorb(outcome.metrics.snapshot())
+                self._metrics.gauge(
+                    "shard_duration_seconds",
+                    result.report.duration_seconds,
+                    shard=plan.shard_index,
+                )
+                self._metrics.gauge(
+                    "shard_visits", result.report.ok, shard=plan.shard_index
+                )
+                self._tracer.emit(
+                    EventKind.SHARD_MERGED,
+                    at=result.report.finished_at,
+                    shard=plan.shard_index,
+                    ok=result.report.ok,
+                    failed=result.report.failed,
+                    accepted=result.report.accepted,
+                    duration_seconds=result.report.duration_seconds,
+                )
+
+        if instrumented:
+            self._metrics.gauge("crawl_targets", report.targets)
+            self._metrics.gauge("crawl_duration_seconds", report.duration_seconds)
+            self._metrics.gauge("shard_count", len(plans))
+
         allowed = frozenset(self._world.registry.allowed_domains())
-        encountered = merged_ba.unique_third_parties() | set(allowed)
-        encountered.update(record.domain for record in merged_ba)
-        encountered.update(record.final_domain for record in merged_ba)
-        survey = survey_attestations(self._world, encountered, clock.now())
+        encountered = attestation_targets(merged_ba, merged_aa, allowed)
+        survey = survey_attestations(
+            self._world,
+            encountered,
+            report.finished_at,
+            tracer=self._tracer,
+            metrics=self._metrics,
+        )
         return CrawlResult(
             d_ba=merged_ba,
             d_aa=merged_aa,

@@ -19,6 +19,7 @@ from repro.attestation.wellknown import (
     AttestationValidationError,
     validate_attestation_json,
 )
+from repro.obs import EventKind, NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from repro.util.timeline import Timestamp
 
 if TYPE_CHECKING:
@@ -106,9 +107,38 @@ def probe_domain(world: "SyntheticWeb", domain: str, now: Timestamp) -> Attestat
 
 
 def survey_attestations(
-    world: "SyntheticWeb", domains: Iterable[str], now: Timestamp
+    world: "SyntheticWeb",
+    domains: Iterable[str],
+    now: Timestamp,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> AttestationSurvey:
-    """Probe every domain in ``domains`` at time ``now``."""
-    return AttestationSurvey(
-        probe_domain(world, domain, now) for domain in set(domains)
-    )
+    """Probe every domain in ``domains`` at time ``now``.
+
+    With instrumentation on, every probe emits an ``attestation-fetch``
+    event and lands in the ``attestation_probes_total{result=...}``
+    counter (result is one of ``attested`` / ``invalid`` / ``absent``).
+    """
+    if not (tracer.enabled or metrics.enabled):
+        return AttestationSurvey(
+            probe_domain(world, domain, now) for domain in set(domains)
+        )
+
+    probes = []
+    # Sorted order keeps the trace deterministic for a given domain set.
+    for domain in sorted(set(domains)):
+        probe = probe_domain(world, domain, now)
+        result = (
+            "attested" if probe.attested else "invalid" if probe.served else "absent"
+        )
+        metrics.counter("attestation_probes_total", result=result)
+        tracer.emit(
+            EventKind.ATTESTATION_FETCH,
+            at=now,
+            domain=domain,
+            served=probe.served,
+            valid=probe.valid,
+            issued=probe.issued,
+        )
+        probes.append(probe)
+    return AttestationSurvey(probes)

@@ -1,0 +1,44 @@
+"""Observability: structured tracing and metrics for the crawl pipeline.
+
+The paper's findings hinge on the crawler producing *exactly* the same
+dataset however it is executed — sequentially, sharded, resumed.  This
+package makes execution differences visible by construction:
+
+* :mod:`repro.obs.tracer` — typed trace events (visit lifecycle, banner
+  interaction, Topics calls with caller classification, attestation
+  fetches, shard lifecycle, injected failures) collected in a bounded
+  ring buffer with JSONL export;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with labels,
+  snapshottable and mergeable across shards, so a sequential campaign
+  and a sharded one can be diffed metric-by-metric.
+
+Everything defaults to the no-op implementations (:data:`NULL_TRACER`,
+:data:`NULL_METRICS`), so instrumentation-off adds nothing to the hot
+path beyond one attribute check.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.tracer import (
+    EventKind,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "EventKind",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+]

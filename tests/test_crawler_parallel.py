@@ -81,3 +81,24 @@ class TestShardedCrawl:
     def test_survey_present(self, sharded):
         assert len(sharded.survey) > 0
         assert all(d in sharded.survey for d in sharded.allowed_domains)
+
+    def test_survey_matches_sequential(self, sharded, crawl):
+        # The merge builds its survey from the same attestation_targets
+        # helper as the sequential campaign: probe-identical surveys.
+        seq_domains = set(crawl.survey._by_domain)
+        sh_domains = set(sharded.survey._by_domain)
+        assert seq_domains == sh_domains
+        for domain in seq_domains:
+            assert sharded.survey.probe(domain) == crawl.survey.probe(domain)
+
+    def test_failure_breakdown_merged(self, sharded, crawl):
+        assert sharded.report.failure_kinds == crawl.report.failure_kinds
+        assert sum(sharded.report.failure_kinds.values()) == sharded.report.failed
+        assert sharded.report.retried == crawl.report.retried
+        assert sharded.report.recovered == crawl.report.recovered
+
+    def test_merged_report_timing_is_honest(self, sharded):
+        report = sharded.report
+        assert report.started_at == 0
+        assert report.finished_at > 0
+        assert report.duration_seconds == report.finished_at - report.started_at

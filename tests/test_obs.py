@@ -1,0 +1,292 @@
+"""Unit tests for the observability layer: tracer, metrics, round-trips."""
+
+import pytest
+
+from repro.analysis.obs_report import (
+    build_metrics_report,
+    diff_snapshots,
+    render_divergences,
+    render_metrics_report,
+)
+from repro.obs import (
+    EventKind,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    NULL_TRACER,
+    NullMetrics,
+    NullTracer,
+    Tracer,
+)
+from repro.obs.metrics import format_series
+
+
+class TestTracer:
+    def test_emit_and_read_back(self):
+        tracer = Tracer()
+        tracer.emit(EventKind.VISIT_STARTED, at=10, domain="a.com")
+        tracer.emit(EventKind.VISIT_FINISHED, at=12, domain="a.com", ok=True)
+        assert len(tracer) == 2
+        started = tracer.events(EventKind.VISIT_STARTED)
+        assert len(started) == 1
+        assert started[0].at == 10
+        assert started[0].fields == {"domain": "a.com"}
+
+    def test_sequence_numbers_order_events(self):
+        tracer = Tracer()
+        for index in range(5):
+            tracer.emit(EventKind.TOPICS_CALL, at=0, index=index)
+        assert [event.seq for event in tracer] == [0, 1, 2, 3, 4]
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for index in range(10):
+            tracer.emit(EventKind.VISIT_STARTED, at=index)
+        assert len(tracer) == 3
+        assert tracer.emitted == 10
+        assert tracer.dropped == 7
+        assert [event.at for event in tracer] == [7, 8, 9]
+
+    def test_counts_by_kind_survive_drops(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(6):
+            tracer.emit(EventKind.TOPICS_CALL, at=0)
+        assert tracer.counts_by_kind() == {"topics-call": 6}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(EventKind.BANNER_INTERACTION, at=5, domain="b.com", found=True)
+        tracer.emit(
+            EventKind.TOPICS_CALL, at=7, caller="c.com", decision="allowed-corrupt"
+        )
+        path = tmp_path / "trace.jsonl"
+        tracer.to_jsonl(path)
+        events = Tracer.read_jsonl(path)
+        assert events == tracer.events()
+
+    def test_replay_tags_events(self):
+        shard = Tracer()
+        shard.emit(EventKind.VISIT_STARTED, at=1, domain="a.com")
+        parent = Tracer()
+        parent.replay(shard, shard=3)
+        (event,) = parent.events()
+        assert event.fields == {"domain": "a.com", "shard": 3}
+        assert event.at == 1
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(EventKind.VISIT_STARTED, at=0, domain="x.com")
+        assert len(NULL_TRACER) == 0
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_labelset(self):
+        metrics = MetricsRegistry()
+        metrics.counter("visits", phase="before")
+        metrics.counter("visits", phase="before")
+        metrics.counter("visits", phase="after")
+        snapshot = metrics.snapshot()
+        assert snapshot.counter_value("visits", phase="before") == 2
+        assert snapshot.counter_value("visits", phase="after") == 1
+        assert snapshot.counter_total("visits") == 3
+
+    def test_label_order_is_canonical(self):
+        metrics = MetricsRegistry()
+        metrics.counter("calls", type="js", decision="allowed")
+        metrics.counter("calls", decision="allowed", type="js")
+        assert metrics.snapshot().counter_value(
+            "calls", type="js", decision="allowed"
+        ) == 2
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("duration", 10)
+        metrics.gauge("duration", 7)
+        assert metrics.snapshot().gauge_value("duration") == 7
+
+    def test_histogram_summary(self):
+        metrics = MetricsRegistry()
+        for value in (1, 2, 2, 40):
+            metrics.observe("visit_seconds", value)
+        data = metrics.snapshot().histogram("visit_seconds")
+        assert data.count == 4
+        assert data.total == 45
+        assert data.min == 1
+        assert data.max == 40
+        assert data.mean == pytest.approx(11.25)
+        # bounds (1, 2, 5, ...): 1 falls in the first bucket, both 2s in
+        # the second, 40 in the (30, 60] bucket.
+        assert data.bucket_counts[0] == 1
+        assert data.bucket_counts[1] == 2
+        assert sum(data.bucket_counts) == 4
+
+    def test_snapshot_is_detached(self):
+        metrics = MetricsRegistry()
+        metrics.counter("visits")
+        snapshot = metrics.snapshot()
+        metrics.counter("visits")
+        assert snapshot.counter_value("visits") == 1
+        assert metrics.snapshot().counter_value("visits") == 2
+
+    def test_null_metrics_is_inert(self):
+        NULL_METRICS.counter("visits")
+        NULL_METRICS.gauge("duration", 3)
+        NULL_METRICS.observe("seconds", 1)
+        snapshot = NULL_METRICS.snapshot()
+        assert snapshot.counters == {} and snapshot.gauges == {}
+        assert NULL_METRICS.enabled is False
+        assert isinstance(NULL_METRICS, NullMetrics)
+
+
+class TestSnapshotMerge:
+    def test_counters_add_and_gauges_keep_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("visits", 3, shard="0")
+        b.counter("visits", 4, shard="0")
+        b.counter("failures", 1)
+        a.gauge("duration", 100)
+        b.gauge("duration", 250)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counter_value("visits", shard="0") == 7
+        assert merged.counter_value("failures") == 1
+        assert merged.gauge_value("duration") == 250
+
+    def test_histograms_merge_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("seconds", 1)
+        a.observe("seconds", 100)
+        b.observe("seconds", 2)
+        merged = a.snapshot().merge(b.snapshot())
+        data = merged.histogram("seconds")
+        assert data.count == 3
+        assert data.min == 1 and data.max == 100
+        assert sum(data.bucket_counts) == 3
+
+    def test_mismatched_histogram_bounds_refuse_to_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("seconds", 1, buckets=(1, 2))
+        b.observe("seconds", 1, buckets=(5, 10))
+        with pytest.raises(ValueError):
+            a.snapshot().merge(b.snapshot())
+
+    def test_merge_all_and_absorb_agree(self):
+        shards = []
+        for index in range(3):
+            registry = MetricsRegistry()
+            registry.counter("visits", index + 1)
+            shards.append(registry.snapshot())
+        merged = MetricsSnapshot.merge_all(shards)
+        aggregator = MetricsRegistry()
+        for snapshot in shards:
+            aggregator.absorb(snapshot)
+        assert merged.counter_value("visits") == 6
+        assert aggregator.snapshot().counters == merged.counters
+
+    def test_json_round_trip(self):
+        metrics = MetricsRegistry()
+        metrics.counter("visits", 5, phase="before")
+        metrics.gauge("duration", 42)
+        metrics.observe("seconds", 1.5)
+        snapshot = metrics.snapshot()
+        restored = MetricsSnapshot.from_json(snapshot.to_json())
+        assert restored.counters == snapshot.counters
+        assert restored.gauges == snapshot.gauges
+        assert restored.histograms == snapshot.histograms
+
+    def test_save_load(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.counter("visits", 2)
+        path = tmp_path / "metrics.json"
+        metrics.snapshot().save(path)
+        assert MetricsSnapshot.load(path).counter_value("visits") == 2
+
+
+class TestDiffSnapshots:
+    def test_equal_snapshots_have_no_divergence(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry in (a, b):
+            registry.counter("visits", 3, phase="before")
+        assert diff_snapshots(a.snapshot(), b.snapshot()) == []
+
+    def test_divergence_is_reported_per_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("visits", 3, phase="before")
+        b.counter("visits", 2, phase="before")
+        b.counter("probes", 1)
+        divergences = diff_snapshots(a.snapshot(), b.snapshot())
+        assert {d.series for d in divergences} == {
+            'visits{phase="before"}',
+            "probes",
+        }
+        rendered = render_divergences(divergences, "sequential", "sharded")
+        assert "2 counter(s) diverge" in rendered
+
+    def test_ignore_prefixes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("shard_retries", 1)
+        divergences = diff_snapshots(
+            a.snapshot(), b.snapshot(), ignore_prefixes=("shard_",)
+        )
+        assert divergences == []
+
+    def test_gauges_and_histograms_excluded(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("duration", 100)
+        b.gauge("duration", 50)
+        a.observe("seconds", 1)
+        assert diff_snapshots(a.snapshot(), b.snapshot()) == []
+
+
+class TestMetricsReport:
+    def _snapshot(self) -> MetricsSnapshot:
+        metrics = MetricsRegistry()
+        metrics.counter("browser_visits_total", 80, outcome="ok")
+        metrics.counter("browser_visits_total", 20, outcome="failed")
+        metrics.counter("topics_calls_total", 50, type="javascript", decision="allowed")
+        metrics.counter("crawl_failures_total", 20, kind="dns-resolution-failed")
+        metrics.counter("crawl_banners_total", 30, result="accepted")
+        metrics.counter("attestation_probes_total", 12, result="attested")
+        metrics.gauge("crawl_duration_seconds", 200)
+        metrics.gauge("shard_visits", 30, shard=0)
+        metrics.gauge("shard_visits", 50, shard=1)
+        metrics.gauge("shard_duration_seconds", 90, shard=0)
+        metrics.gauge("shard_duration_seconds", 110, shard=1)
+        return metrics.snapshot()
+
+    def test_rates_and_breakdowns(self):
+        report = build_metrics_report(self._snapshot())
+        assert report.visits_total == 100
+        assert report.visits_per_second == pytest.approx(0.5)
+        assert report.calls_per_second == pytest.approx(0.25)
+        assert report.failures_by_kind == {"dns-resolution-failed": 20}
+        assert report.probes_by_result == {"attested": 12}
+        assert report.shard_visits == {0: 30, 1: 50}
+
+    def test_shard_skew(self):
+        report = build_metrics_report(self._snapshot())
+        assert report.shard_skew == pytest.approx((50 - 30) / 40)
+
+    def test_skew_undefined_for_single_shard(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("shard_visits", 10, shard=0)
+        assert build_metrics_report(metrics.snapshot()).shard_skew is None
+
+    def test_render_mentions_the_essentials(self):
+        rendered = render_metrics_report(build_metrics_report(self._snapshot()))
+        assert "visits:" in rendered
+        assert "topics calls:" in rendered
+        assert "shard skew:" in rendered
+        assert "dns-resolution-failed" in rendered
+
+
+def test_format_series():
+    assert format_series("visits", ()) == "visits"
+    assert (
+        format_series("visits", (("outcome", "ok"), ("phase", "before")))
+        == 'visits{outcome="ok",phase="before"}'
+    )
