@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-small bench-obs study experiments examples clean
+.PHONY: install test bench bench-small bench-obs bench-spans study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -22,6 +22,10 @@ bench-small:
 bench-obs:
 	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/bench_crawl_throughput.py --benchmark-only
 
+# Span-recording overhead: NULL_RECORDER baseline vs a live SpanRecorder.
+bench-spans:
+	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/bench_crawl_throughput.py -k spans --benchmark-only
+
 study:
 	$(PY) -m repro study
 
@@ -38,6 +42,7 @@ examples:
 	$(PY) examples/longitudinal_monitor.py 3000
 	$(PY) examples/ad_targeting.py 40
 	$(PY) examples/full_study.py 3000
+	$(PY) examples/profile_crawl.py 2000
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -12,7 +12,7 @@ from repro.browser.browser import Browser
 from repro.browser.context import root_context_for
 from repro.browser.topics.api import TopicsApi
 from repro.crawler.campaign import CrawlCampaign
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, SpanRecorder, Tracer
 from repro.util.urls import https
 from repro.web.generator import WebGenerator
 
@@ -66,6 +66,40 @@ def test_crawl_throughput_instrumented(benchmark, world):
     assert result.report.ok > 0
     assert tracer.emitted > 0
     assert snapshot.counter_total("browser_visits_total") > 0
+
+
+def test_crawl_throughput_with_spans(benchmark, world):
+    """Span recording overhead: NULL_RECORDER baseline vs a live recorder.
+
+    With the default ``NULL_RECORDER`` every span site costs one ``if``,
+    so throughput must sit within noise of the uninstrumented crawl;
+    this pins the enabled-mode overhead next to that baseline.
+    """
+    baseline_started = time.perf_counter()
+    CrawlCampaign(world, corrupt_allowlist=True, limit=2_000).run()
+    baseline_seconds = time.perf_counter() - baseline_started
+
+    spans = SpanRecorder()
+    campaign = CrawlCampaign(
+        world, corrupt_allowlist=True, limit=2_000, spans=spans
+    )
+    recorded_started = time.perf_counter()
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    recorded_seconds = time.perf_counter() - recorded_started
+
+    overhead = (
+        recorded_seconds / baseline_seconds - 1 if baseline_seconds else 0.0
+    )
+    show(
+        "Crawl throughput, span recording",
+        f"NULL_RECORDER {baseline_seconds:.2f}s vs recording "
+        f"{recorded_seconds:.2f}s ({overhead:+.1%} with spans ON; "
+        f"spans OFF is the no-op default)\n"
+        f"{spans.recorded:,} spans recorded ({spans.dropped:,} dropped)",
+    )
+    assert result.report.ok > 0
+    assert spans.recorded > 0
+    assert spans.open_depth == 0
 
 
 def test_world_generation(benchmark):

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsSnapshot, format_series
+from repro.obs.tracer import TraceMeta
 
 
 @dataclass(frozen=True)
@@ -31,6 +32,12 @@ class MetricsReport:
     visits_per_second: float
     topics_calls_total: int
     calls_per_second: float
+    #: Visit latency quantiles from the ``visit_seconds`` histogram
+    #: (merged over outcomes); ``None`` when nothing was observed.
+    visit_mean: float | None = None
+    visit_p50: float | None = None
+    visit_p95: float | None = None
+    visit_p99: float | None = None
     failures_by_kind: dict = field(default_factory=dict)
     banners_by_result: dict = field(default_factory=dict)
     probes_by_result: dict = field(default_factory=dict)
@@ -68,12 +75,17 @@ def build_metrics_report(snapshot: MetricsSnapshot) -> MetricsReport:
     duration = snapshot.gauge_value("crawl_duration_seconds") or 0.0
     visits = int(snapshot.counter_total("browser_visits_total"))
     calls = int(snapshot.counter_total("topics_calls_total"))
+    latency = snapshot.histogram_total("visit_seconds")
     return MetricsReport(
         duration_seconds=duration,
         visits_total=visits,
         visits_per_second=visits / duration if duration else 0.0,
         topics_calls_total=calls,
         calls_per_second=calls / duration if duration else 0.0,
+        visit_mean=latency.mean if latency else None,
+        visit_p50=latency.quantile(0.50) if latency else None,
+        visit_p95=latency.quantile(0.95) if latency else None,
+        visit_p99=latency.quantile(0.99) if latency else None,
         failures_by_kind=_breakdown(snapshot, "crawl_failures_total", "kind"),
         banners_by_result=_breakdown(snapshot, "crawl_banners_total", "result"),
         probes_by_result=_breakdown(snapshot, "attestation_probes_total", "result"),
@@ -92,6 +104,13 @@ def render_metrics_report(report: MetricsReport) -> str:
         f"  topics calls:    {report.topics_calls_total:,} "
         f"({report.calls_per_second:.2f}/s)",
     ]
+    if report.visit_mean is not None:
+        lines.append(
+            f"  visit latency:   mean={report.visit_mean:.2f}s "
+            f"p50={report.visit_p50:.2f}s "
+            f"p95={report.visit_p95:.2f}s "
+            f"p99={report.visit_p99:.2f}s"
+        )
     if report.failures_by_kind:
         lines.append("  failures:")
         for kind, count in sorted(
@@ -164,6 +183,24 @@ def diff_snapshots(
                 )
             )
     return divergences
+
+
+def render_trace_health(meta: TraceMeta | None) -> str:
+    """One-line trace completeness summary, loud when events were lost.
+
+    A ring buffer that overflowed silently truncates the oldest history;
+    surfacing the drop rate is what stops an operator from diffing a
+    partial trace against a complete one.
+    """
+    if meta is None:
+        return "trace health: unknown (legacy trace without a meta line)"
+    if meta.dropped == 0:
+        return f"trace health: complete ({meta.emitted:,} events)"
+    return (
+        f"WARNING: trace dropped {meta.dropped:,} of {meta.emitted:,} "
+        f"events ({meta.drop_rate:.1%}) — ring buffer capacity "
+        f"{meta.capacity:,} exceeded; the oldest events are missing."
+    )
 
 
 def render_divergences(

@@ -23,7 +23,16 @@ from repro.browser.failures import failure_kind_for
 from repro.browser.topics.api import TopicsApi
 from repro.browser.topics.manager import BrowsingTopicsSiteDataManager, TopicsApiCall
 from repro.browser.topics.selection import EpochTopicsSelector
-from repro.obs import EventKind, NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import (
+    EventKind,
+    NULL_METRICS,
+    NULL_RECORDER,
+    NULL_TRACER,
+    MetricsRegistry,
+    SpanRecorder,
+    Tracer,
+)
+from repro.obs.spans import SPAN_NAVIGATE, SPAN_SCRIPT_EXEC, SPAN_TOPICS_CALL
 from repro.taxonomy.classifier import SiteClassifier
 from repro.util.text import stable_digest
 from repro.util.timeline import SimClock
@@ -73,10 +82,12 @@ class Browser:
         topics_enabled: bool = True,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
+        spans: SpanRecorder = NULL_RECORDER,
     ) -> None:
         self._world = world
         self._tracer = tracer
         self._metrics = metrics
+        self._spans = spans
         self.clock = clock if clock is not None else SimClock()
         self.consent = ConsentLedger()
         self.cookie_jar = CookieJar(third_party_cookies_enabled=third_party_cookies)
@@ -137,6 +148,76 @@ class Browser:
             load_seconds=load_seconds,
         )
 
+    def _record_failed_stage(
+        self, domain: str, error: str, load_seconds: int
+    ) -> None:
+        """A failed load spends its whole window failing to navigate."""
+        end = float(self.clock.now())
+        self._spans.record(
+            SPAN_NAVIGATE,
+            end - load_seconds,
+            end,
+            domain=domain,
+            ok=False,
+            error=error,
+        )
+
+    def _record_stage_spans(
+        self,
+        domain: str,
+        load_seconds: int,
+        fetches: int,
+        scripts_run: int,
+        calls: tuple,
+        redirected: bool,
+    ) -> None:
+        """Carve the visit's load window into per-stage spans.
+
+        The simulated clock paces whole visits (1–2 s each), so stage
+        boundaries inside the window are apportioned from the visit's
+        actual work mix — resource fetches, script executions, Topics
+        calls — keeping the profile deterministic and the tree exactly
+        within the visit interval.
+        """
+        end = float(self.clock.now())
+        start = end - load_seconds
+        nav_work = 1.0 + 0.25 * fetches
+        script_work = 0.5 * scripts_run
+        topics_work = 0.1 * len(calls)
+        total = nav_work + script_work + topics_work
+        nav_end = start + load_seconds * (nav_work / total)
+        script_end = start + load_seconds * ((nav_work + script_work) / total)
+        if not scripts_run and not calls:
+            nav_end = end
+        if scripts_run and not calls:
+            script_end = end
+        self._spans.record(
+            SPAN_NAVIGATE,
+            start,
+            nav_end,
+            domain=domain,
+            fetches=fetches,
+            redirected=redirected,
+        )
+        if scripts_run:
+            self._spans.record(
+                SPAN_SCRIPT_EXEC, nav_end, script_end, scripts=scripts_run
+            )
+        if calls:
+            per_call = (end - script_end) / len(calls)
+            cursor = script_end
+            for index, call in enumerate(calls):
+                call_end = end if index == len(calls) - 1 else cursor + per_call
+                self._spans.record(
+                    SPAN_TOPICS_CALL,
+                    cursor,
+                    call_end,
+                    caller=call.caller,
+                    call_type=call.call_type.value,
+                    decision=call.decision.value,
+                )
+                cursor = call_end
+
     # -- navigation -----------------------------------------------------------------
 
     def visit(self, domain: str, consent_granted: bool | None = None) -> VisitOutcome:
@@ -163,6 +244,8 @@ class Browser:
         if site is None:
             if instrumented:
                 self._trace_failed_visit(domain, ERROR_UNKNOWN_HOST, load_seconds)
+            if self._spans.enabled:
+                self._record_failed_stage(domain, ERROR_UNKNOWN_HOST, load_seconds)
             return VisitOutcome(
                 requested_domain=domain, ok=False, error=ERROR_UNKNOWN_HOST
             )
@@ -181,6 +264,8 @@ class Browser:
                         attempt=self._failed_attempts[domain],
                     )
                     self._trace_failed_visit(domain, kind.value, load_seconds)
+                if self._spans.enabled:
+                    self._record_failed_stage(domain, kind.value, load_seconds)
                 return VisitOutcome(
                     requested_domain=domain, ok=False, error=kind.value
                 )
@@ -197,8 +282,11 @@ class Browser:
         call_mark = self.topics_manager.call_count
         now = self.clock.now()
         page_domain = final_site.domain
+        fetches = 0
+        scripts_run = 0
 
         self._network.fetch(page.url, page_domain, now, log)
+        fetches += 1
         self.topics_manager.record_page_visit(page_domain, now)
         root = root_context_for(page.url)
 
@@ -206,28 +294,39 @@ class Browser:
             if resource.gated and not consent_granted:
                 continue
             self._network.fetch(resource.src, page_domain, now, log)
+            fetches += 1
 
         for tag in page.scripts:
             if tag.gated and not consent_granted:
                 continue
             self._network.fetch(tag.src, page_domain, now, log)
+            fetches += 1
             self._runtime.execute(tag, root, consent_granted, now, log, page_domain)
+            scripts_run += 1
 
         for frame in page.iframes:
             if frame.gated and not consent_granted:
                 continue
             self._network.fetch(frame.src, page_domain, now, log)
+            fetches += 1
             if frame.browsingtopics_attr and self.topics_manager.topics_enabled:
                 child, _ = self._api.iframe_with_topics(root, frame.src, now)
             else:
                 child = root.open_iframe(frame.src)
             for inner in frame.scripts:
                 self._network.fetch(inner.src, page_domain, now, log)
+                fetches += 1
                 self._runtime.execute(
                     inner, child, consent_granted, now, log, page_domain
                 )
+                scripts_run += 1
 
         calls = tuple(self.topics_manager.drain_calls_since(call_mark))
+        if self._spans.enabled:
+            self._record_stage_spans(
+                domain, load_seconds, fetches, scripts_run, calls,
+                redirected=site.redirect_to is not None,
+            )
         if instrumented:
             self._metrics.counter("browser_visits_total", outcome="ok")
             self._metrics.observe("visit_seconds", load_seconds, outcome="ok")

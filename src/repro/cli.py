@@ -77,14 +77,47 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
-    from repro.analysis.obs_report import build_metrics_report, render_metrics_report
-    from repro.obs import MetricsRegistry, NULL_METRICS, NULL_TRACER, Tracer
+    from repro.analysis.obs_report import (
+        build_metrics_report,
+        render_metrics_report,
+        render_trace_health,
+    )
+    from repro.analysis.profile_report import profile_spans
+    from repro.obs import (
+        MetricsRegistry,
+        NULL_METRICS,
+        NULL_RECORDER,
+        NULL_TRACER,
+        ProgressTracker,
+        SpanRecorder,
+        Tracer,
+    )
 
     instrument = bool(args.trace_out or args.metrics_out)
+    recording = bool(args.span_out or args.chrome_trace_out or args.progress)
     tracer = Tracer() if instrument else NULL_TRACER
     metrics = MetricsRegistry() if instrument else NULL_METRICS
 
     world = WebGenerator(_world_config(args)).generate()
+
+    tracker = None
+    spans = NULL_RECORDER
+    if recording:
+        targets = len(world.tranco.domains)
+        if args.shards <= 1 and args.limit is not None:
+            targets = min(targets, args.limit)
+        if args.progress:
+            shard_sizes = None
+            if args.shards > 1:
+                from repro.crawler.parallel import plan_shards
+
+                shard_sizes = {
+                    plan.shard_index: len(plan.domains)
+                    for plan in plan_shards(world.tranco, args.shards)
+                }
+            tracker = ProgressTracker(targets, shard_sizes=shard_sizes)
+        spans = SpanRecorder(listener=tracker)
+
     if args.shards > 1:
         result = ShardedCrawl(
             world,
@@ -92,6 +125,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             corrupt_allowlist=not args.healthy_allowlist,
             tracer=tracer,
             metrics=metrics,
+            spans=spans,
         ).run()
     else:
         result = CrawlCampaign(
@@ -100,7 +134,10 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             limit=args.limit,
             tracer=tracer,
             metrics=metrics,
+            spans=spans,
         ).run()
+    if tracker is not None:
+        tracker.finish()
     report = result.report
     print(
         f"visited {report.ok:,}/{report.targets:,} sites, "
@@ -110,16 +147,27 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     print(f"archived campaign under {args.out}/")
     if args.trace_out:
         tracer.to_jsonl(args.trace_out)
-        print(
-            f"wrote {len(tracer):,} trace events to {args.trace_out}"
-            + (f" ({tracer.dropped:,} dropped)" if tracer.dropped else "")
-        )
+        print(f"wrote {len(tracer):,} trace events to {args.trace_out}")
+        if tracer.dropped:
+            print(render_trace_health(tracer.meta()))
     if args.metrics_out:
         metrics.snapshot().save(args.metrics_out)
         print(f"wrote metrics snapshot to {args.metrics_out}")
+    if args.span_out:
+        spans.to_jsonl(args.span_out)
+        print(f"wrote {len(spans):,} spans to {args.span_out}")
+    if args.chrome_trace_out:
+        spans.to_chrome_trace(args.chrome_trace_out)
+        print(
+            f"wrote Chrome trace to {args.chrome_trace_out} "
+            "(load in chrome://tracing or Perfetto)"
+        )
     if instrument:
         print()
         print(render_metrics_report(build_metrics_report(metrics.snapshot())))
+    if recording:
+        print()
+        print(profile_spans(spans))
     return 0
 
 
@@ -262,6 +310,19 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument(
         "--metrics-out",
         help="write the metrics snapshot (JSON) to this file",
+    )
+    crawl.add_argument(
+        "--span-out",
+        help="write the hierarchical span tree (JSONL) to this file",
+    )
+    crawl.add_argument(
+        "--chrome-trace-out",
+        help="write a Chrome trace-event JSON (chrome://tracing / Perfetto)",
+    )
+    crawl.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live progress line (visits/s, ETA, per-shard completion)",
     )
     crawl.set_defaults(func=_cmd_crawl)
 

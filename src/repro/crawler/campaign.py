@@ -31,7 +31,16 @@ from repro.crawler.dataset import (
 )
 from repro.crawler.privaccept import BannerDetection, PrivAccept
 from repro.crawler.wellknown import AttestationSurvey, survey_attestations
-from repro.obs import EventKind, NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import (
+    EventKind,
+    NULL_METRICS,
+    NULL_RECORDER,
+    NULL_TRACER,
+    MetricsRegistry,
+    SpanRecorder,
+    Tracer,
+)
+from repro.obs.spans import SPAN_BANNER, SPAN_CAMPAIGN, SPAN_RETRY, SPAN_VISIT
 from repro.util.timeline import SimClock
 
 if TYPE_CHECKING:
@@ -109,6 +118,8 @@ class CrawlCampaign:
         retries: int = 0,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
+        spans: SpanRecorder = NULL_RECORDER,
+        span_root: str = SPAN_CAMPAIGN,
         survey: bool = True,
     ) -> None:
         if retries < 0:
@@ -123,6 +134,10 @@ class CrawlCampaign:
         self._privaccept = PrivAccept()
         self._tracer = tracer
         self._metrics = metrics
+        # Sharded runs name their per-shard root "shard"; the merge then
+        # grafts the shard trees under one campaign-level root.
+        self._spans = spans
+        self._span_root = span_root
         # Shard campaigns skip the survey: the merge rebuilds it over the
         # full campaign's encountered set (per-shard surveys would be
         # discarded — and double-count the attestation metrics).
@@ -136,8 +151,9 @@ class CrawlCampaign:
         # browser's database — the paper keeps the June 6 file for analysis.
         allowed = frozenset(world.registry.allowed_domains())
 
-        tracer, metrics = self._tracer, self._metrics
+        tracer, metrics, spans = self._tracer, self._metrics, self._spans
         instrumented = tracer.enabled or metrics.enabled
+        recording = spans.enabled
         browser = Browser(
             world,
             clock=clock,
@@ -146,6 +162,7 @@ class CrawlCampaign:
             script_origin_mode=self._script_origin_mode,
             tracer=tracer,
             metrics=metrics,
+            spans=spans,
         )
 
         d_ba = Dataset("D_BA")
@@ -157,17 +174,34 @@ class CrawlCampaign:
             targets = targets[: self._limit]
         report.targets = len(targets)
 
+        if recording:
+            spans.enter(self._span_root, at=clock.now(), targets=len(targets))
+
         for position, (rank, domain) in enumerate(targets, start=1):
             if self._progress is not None and position % 1000 == 0:
                 self._progress(position, len(targets))
 
+            if recording:
+                spans.enter(
+                    SPAN_VISIT,
+                    at=clock.now(),
+                    domain=domain,
+                    phase=PHASE_BEFORE,
+                    rank=rank,
+                )
             before = browser.visit(domain)
-            for _ in range(self._retries):
+            for attempt in range(1, self._retries + 1):
                 if before.ok:
                     break
                 report.retried += 1
                 metrics.counter("crawl_retries_total")
+                if recording:
+                    spans.enter(
+                        SPAN_RETRY, at=clock.now(), domain=domain, attempt=attempt
+                    )
                 before = browser.visit(domain)
+                if recording:
+                    spans.exit(at=clock.now(), ok=before.ok)
                 if before.ok:
                     report.recovered += 1
                     metrics.counter("crawl_recoveries_total")
@@ -181,6 +215,8 @@ class CrawlCampaign:
                         "crawl_visits_total", phase=PHASE_BEFORE, outcome="failed"
                     )
                     metrics.counter("crawl_failures_total", kind=before.error)
+                if recording:
+                    spans.exit(at=clock.now(), ok=False, error=before.error)
                 continue
             report.ok += 1
 
@@ -208,6 +244,19 @@ class CrawlCampaign:
                     language=detection.matched_language,
                     keyword=detection.matched_keyword,
                 )
+            if recording:
+                # The banner interaction happens on the rendered page,
+                # inside the visit's window (the clock does not advance
+                # for it, so the span is an instant).
+                if detection.banner_found:
+                    spans.record(
+                        SPAN_BANNER,
+                        clock.now(),
+                        clock.now(),
+                        domain=domain,
+                        accept_clicked=detection.accept_clicked,
+                    )
+                spans.exit(at=clock.now(), ok=True)
 
             if not detection.accept_clicked:
                 # No After-Accept visit when consent could not be granted
@@ -216,7 +265,17 @@ class CrawlCampaign:
             report.accepted += 1
             browser.consent.grant(domain)
             browser.clear_cache()
+            if recording:
+                spans.enter(
+                    SPAN_VISIT,
+                    at=clock.now(),
+                    domain=domain,
+                    phase=PHASE_AFTER,
+                    rank=rank,
+                )
             after = browser.visit(domain)
+            if recording:
+                spans.exit(at=clock.now(), ok=after.ok)
             if after.ok:
                 d_aa.add(self._record(rank, after, PHASE_AFTER, detection, world))
                 metrics.counter(
@@ -231,10 +290,18 @@ class CrawlCampaign:
         if self._survey:
             encountered = attestation_targets(d_ba, d_aa, allowed)
             survey = survey_attestations(
-                world, encountered, clock.now(), tracer=tracer, metrics=metrics
+                world,
+                encountered,
+                clock.now(),
+                tracer=tracer,
+                metrics=metrics,
+                spans=spans,
             )
         else:
             survey = AttestationSurvey(())
+
+        if recording:
+            spans.exit(at=clock.now(), ok=report.failed == 0)
 
         return CrawlResult(
             d_ba=d_ba,

@@ -39,9 +39,12 @@ from repro.obs import (
     EventKind,
     MetricsRegistry,
     NULL_METRICS,
+    NULL_RECORDER,
     NULL_TRACER,
+    SpanRecorder,
     Tracer,
 )
+from repro.obs.spans import SPAN_CAMPAIGN, SPAN_SHARD
 from repro.web.tranco import TrancoList
 
 if TYPE_CHECKING:
@@ -89,6 +92,7 @@ class _ShardOutcome:
     result: CrawlResult
     tracer: Tracer
     metrics: MetricsRegistry
+    spans: SpanRecorder = NULL_RECORDER
 
 
 class ShardedCrawl:
@@ -102,6 +106,7 @@ class ShardedCrawl:
         max_workers: int | None = None,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
+        spans: SpanRecorder = NULL_RECORDER,
     ) -> None:
         self._world = world
         self._shard_count = shard_count
@@ -109,6 +114,7 @@ class ShardedCrawl:
         self._max_workers = max_workers or shard_count
         self._tracer = tracer
         self._metrics = metrics
+        self._spans = spans
 
     def run(self) -> CrawlResult:
         plans = plan_shards(self._world.tranco, self._shard_count)
@@ -119,8 +125,18 @@ class ShardedCrawl:
     def _run_shard(self, plan: ShardPlan) -> _ShardOutcome:
         # Each shard records into private instrumentation so worker
         # threads never contend; the merge folds them deterministically.
+        # Span recorders inherit the campaign recorder's listener so a
+        # live progress line keeps updating from every worker thread.
         tracer = Tracer() if self._tracer.enabled else NULL_TRACER
         metrics = MetricsRegistry() if self._metrics.enabled else NULL_METRICS
+        spans = (
+            SpanRecorder(
+                common_fields={"shard": plan.shard_index},
+                listener=self._spans.listener,
+            )
+            if self._spans.enabled
+            else NULL_RECORDER
+        )
         tracer.emit(
             EventKind.SHARD_STARTED,
             at=0,
@@ -137,9 +153,13 @@ class ShardedCrawl:
             user_seed=plan.shard_index,
             tracer=tracer,
             metrics=metrics,
+            spans=spans,
+            span_root=SPAN_SHARD,
             survey=False,
         )
-        return _ShardOutcome(result=campaign.run(), tracer=tracer, metrics=metrics)
+        return _ShardOutcome(
+            result=campaign.run(), tracer=tracer, metrics=metrics, spans=spans
+        )
 
     def _merge(
         self, plans: list[ShardPlan], outcomes: list[_ShardOutcome]
@@ -179,31 +199,15 @@ class ShardedCrawl:
                 report.finished_at, result.report.finished_at
             )
 
-            if instrumented:
-                self._tracer.replay(outcome.tracer, shard=plan.shard_index)
-                self._metrics.absorb(outcome.metrics.snapshot())
-                self._metrics.gauge(
-                    "shard_duration_seconds",
-                    result.report.duration_seconds,
-                    shard=plan.shard_index,
-                )
-                self._metrics.gauge(
-                    "shard_visits", result.report.ok, shard=plan.shard_index
-                )
-                self._tracer.emit(
-                    EventKind.SHARD_MERGED,
-                    at=result.report.finished_at,
-                    shard=plan.shard_index,
-                    ok=result.report.ok,
-                    failed=result.report.failed,
-                    accepted=result.report.accepted,
-                    duration_seconds=result.report.duration_seconds,
-                )
-
         if instrumented:
+            self._fold_instrumentation(plans, outcomes)
             self._metrics.gauge("crawl_targets", report.targets)
             self._metrics.gauge("crawl_duration_seconds", report.duration_seconds)
             self._metrics.gauge("shard_count", len(plans))
+
+        root_id = None
+        if self._spans.enabled:
+            root_id = self._fold_spans(plans, outcomes, report)
 
         allowed = frozenset(self._world.registry.allowed_domains())
         encountered = attestation_targets(merged_ba, merged_aa, allowed)
@@ -213,7 +217,10 @@ class ShardedCrawl:
             report.finished_at,
             tracer=self._tracer,
             metrics=self._metrics,
+            spans=self._spans,
         )
+        if root_id is not None:
+            self._spans.exit(at=float(report.finished_at))
         return CrawlResult(
             d_ba=merged_ba,
             d_aa=merged_aa,
@@ -221,6 +228,80 @@ class ShardedCrawl:
             allowed_domains=allowed,
             survey=survey,
         )
+
+    def _fold_instrumentation(
+        self, plans: list[ShardPlan], outcomes: list[_ShardOutcome]
+    ) -> None:
+        """Fold shard tracers and metrics into the campaign-level pair.
+
+        Shard events interleave in *time* order — sorted by
+        ``(at, shard_index, seq)`` — so the merged trace reads as one
+        chronological campaign rather than shard 0's full history
+        followed by shard 1's.  Per-shard gauges and the ``shard-merged``
+        lifecycle events follow the replayed history.
+        """
+        entries = []
+        for plan, outcome in zip(plans, outcomes):
+            for event in outcome.tracer:
+                entries.append((event.at, plan.shard_index, event.seq, event))
+        entries.sort(key=lambda entry: entry[:3])
+        for at, shard_index, _seq, event in entries:
+            self._tracer.emit(
+                event.kind, at, **{**event.fields, "shard": shard_index}
+            )
+
+        for plan, outcome in zip(plans, outcomes):
+            result = outcome.result
+            self._metrics.absorb(outcome.metrics.snapshot())
+            self._metrics.gauge(
+                "shard_duration_seconds",
+                result.report.duration_seconds,
+                shard=plan.shard_index,
+            )
+            self._metrics.gauge(
+                "shard_visits", result.report.ok, shard=plan.shard_index
+            )
+            self._tracer.emit(
+                EventKind.SHARD_MERGED,
+                at=result.report.finished_at,
+                shard=plan.shard_index,
+                ok=result.report.ok,
+                failed=result.report.failed,
+                accepted=result.report.accepted,
+                duration_seconds=result.report.duration_seconds,
+            )
+
+    def _fold_spans(
+        self,
+        plans: list[ShardPlan],
+        outcomes: list[_ShardOutcome],
+        report: CrawlReport,
+    ) -> int:
+        """Graft shard span trees under one campaign-level root.
+
+        Shard spans fold sorted by ``(start, shard_index, span_id)`` —
+        within a shard a parent never sorts after its child, so ids can
+        be remapped in one pass.  Returns the root span id; the caller
+        closes it once the merged survey has recorded its spans.
+        """
+        root_id = self._spans.enter(
+            SPAN_CAMPAIGN,
+            at=float(report.started_at),
+            targets=report.targets,
+            shards=len(plans),
+        )
+        entries = []
+        for plan, outcome in zip(plans, outcomes):
+            for span in outcome.spans:
+                entries.append((span.start, plan.shard_index, span.span_id, span))
+        entries.sort(key=lambda entry: entry[:3])
+        id_map: dict[tuple[int, int], int] = {}
+        for _start, shard_index, old_id, span in entries:
+            parent = id_map.get((shard_index, span.parent_id), root_id)
+            id_map[(shard_index, old_id)] = self._spans.adopt(
+                span, parent_id=parent
+            )
+        return root_id
 
 
 def _rebase_rank(record, offset: int):

@@ -19,7 +19,16 @@ from repro.attestation.wellknown import (
     AttestationValidationError,
     validate_attestation_json,
 )
-from repro.obs import EventKind, NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import (
+    EventKind,
+    NULL_METRICS,
+    NULL_RECORDER,
+    NULL_TRACER,
+    MetricsRegistry,
+    SpanRecorder,
+    Tracer,
+)
+from repro.obs.spans import SPAN_ATTESTATION_FETCH, SPAN_ATTESTATION_SURVEY
 from repro.util.timeline import Timestamp
 
 if TYPE_CHECKING:
@@ -112,21 +121,29 @@ def survey_attestations(
     now: Timestamp,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    spans: SpanRecorder = NULL_RECORDER,
 ) -> AttestationSurvey:
     """Probe every domain in ``domains`` at time ``now``.
 
     With instrumentation on, every probe emits an ``attestation-fetch``
     event and lands in the ``attestation_probes_total{result=...}``
-    counter (result is one of ``attested`` / ``invalid`` / ``absent``).
+    counter (result is one of ``attested`` / ``invalid`` / ``absent``);
+    with span recording on, the survey wraps its probes in an
+    ``attestation-survey`` span (the probes are instants — the simulated
+    clock does not advance during the survey).
     """
-    if not (tracer.enabled or metrics.enabled):
+    if not (tracer.enabled or metrics.enabled or spans.enabled):
         return AttestationSurvey(
             probe_domain(world, domain, now) for domain in set(domains)
         )
 
+    recording = spans.enabled
+    targets = sorted(set(domains))
+    if recording:
+        spans.enter(SPAN_ATTESTATION_SURVEY, at=now, domains=len(targets))
     probes = []
     # Sorted order keeps the trace deterministic for a given domain set.
-    for domain in sorted(set(domains)):
+    for domain in targets:
         probe = probe_domain(world, domain, now)
         result = (
             "attested" if probe.attested else "invalid" if probe.served else "absent"
@@ -140,5 +157,11 @@ def survey_attestations(
             valid=probe.valid,
             issued=probe.issued,
         )
+        if recording:
+            spans.record(
+                SPAN_ATTESTATION_FETCH, now, now, domain=domain, result=result
+            )
         probes.append(probe)
+    if recording:
+        spans.exit(at=now)
     return AttestationSurvey(probes)

@@ -1,4 +1,4 @@
-"""Observability: structured tracing and metrics for the crawl pipeline.
+"""Observability: tracing, metrics, spans and profiling for the crawl pipeline.
 
 The paper's findings hinge on the crawler producing *exactly* the same
 dataset however it is executed — sequentially, sharded, resumed.  This
@@ -10,35 +10,78 @@ package makes execution differences visible by construction:
   ring buffer with JSONL export;
 * :mod:`repro.obs.metrics` — counters / gauges / histograms with labels,
   snapshottable and mergeable across shards, so a sequential campaign
-  and a sharded one can be diffed metric-by-metric.
+  and a sharded one can be diffed metric-by-metric;
+* :mod:`repro.obs.spans` — nested, timed intervals over the simulated
+  clock (campaign → shard → visit → per-stage), with Chrome trace-event
+  export for visual inspection;
+* :mod:`repro.obs.profile` — the critical-path profiler over recorded
+  spans: stage breakdowns, the shard straggler report, slow visits;
+* :mod:`repro.obs.progress` — a live stderr progress line derived from
+  completed visit spans.
 
 Everything defaults to the no-op implementations (:data:`NULL_TRACER`,
-:data:`NULL_METRICS`), so instrumentation-off adds nothing to the hot
-path beyond one attribute check.
+:data:`NULL_METRICS`, :data:`NULL_RECORDER`), so instrumentation-off
+adds nothing to the hot path beyond one attribute check.
 """
 
 from repro.obs.metrics import (
+    HistogramData,
     MetricsRegistry,
     MetricsSnapshot,
     NULL_METRICS,
     NullMetrics,
+)
+from repro.obs.profile import (
+    CampaignProfile,
+    SlowVisitReport,
+    StageStat,
+    StragglerReport,
+    build_profile,
+    critical_path,
+    stage_breakdown,
+    straggler_report,
+)
+from repro.obs.progress import ProgressTracker
+from repro.obs.spans import (
+    NULL_RECORDER,
+    NullSpanRecorder,
+    Span,
+    SpanMeta,
+    SpanRecorder,
 )
 from repro.obs.tracer import (
     EventKind,
     NULL_TRACER,
     NullTracer,
     TraceEvent,
+    TraceMeta,
     Tracer,
 )
 
 __all__ = [
+    "CampaignProfile",
     "EventKind",
+    "HistogramData",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_METRICS",
+    "NULL_RECORDER",
     "NULL_TRACER",
     "NullMetrics",
+    "NullSpanRecorder",
     "NullTracer",
+    "ProgressTracker",
+    "SlowVisitReport",
+    "Span",
+    "SpanMeta",
+    "SpanRecorder",
+    "StageStat",
+    "StragglerReport",
     "TraceEvent",
+    "TraceMeta",
     "Tracer",
+    "build_profile",
+    "critical_path",
+    "stage_breakdown",
+    "straggler_report",
 ]

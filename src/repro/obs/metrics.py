@@ -29,11 +29,20 @@ def _labelset(labels: dict[str, object]) -> LabelSet:
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus exposition format: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def format_series(name: str, labels: LabelSet) -> str:
     """Prometheus-style rendering: ``name{key="value",...}``."""
     if not labels:
         return name
-    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return f"{name}{{{inner}}}"
 
 
@@ -51,6 +60,39 @@ class HistogramData:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Standard Prometheus-style ``histogram_quantile``: find the
+        bucket where the cumulative count crosses ``q * count`` and
+        interpolate inside it.  The first bucket's lower edge is the
+        observed ``min``; the +Inf bucket's upper edge is the observed
+        ``max`` (both clamp the estimate into the observed range).
+        """
+        if self.count <= 0:
+            return 0.0
+        if q <= 0:
+            return self.min
+        if q >= 1:
+            return self.max
+        target = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            if bucket == 0:
+                cumulative += bucket
+                continue
+            if cumulative + bucket >= target:
+                lower = self.min if index == 0 else self.bounds[index - 1]
+                upper = (
+                    self.max if index == len(self.bounds) else self.bounds[index]
+                )
+                lower = min(lower, upper)
+                fraction = (target - cumulative) / bucket
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket
+        return self.max
 
     def merge(self, other: "HistogramData") -> "HistogramData":
         if self.bounds != other.bounds:
@@ -109,6 +151,21 @@ class MetricsSnapshot:
     def counter_total(self, name: str) -> float:
         """One counter summed over every label combination."""
         return sum(self.counter_series(name).values())
+
+    def histogram_series(self, name: str) -> dict[LabelSet, HistogramData]:
+        """All label combinations of one histogram."""
+        return {
+            labels: data
+            for (series, labels), data in self.histograms.items()
+            if series == name
+        }
+
+    def histogram_total(self, name: str) -> HistogramData | None:
+        """One histogram merged over every label combination."""
+        merged: HistogramData | None = None
+        for _, data in sorted(self.histogram_series(name).items()):
+            merged = data if merged is None else merged.merge(data)
+        return merged
 
     def counter_names(self) -> set[str]:
         return {name for name, _ in self.counters}

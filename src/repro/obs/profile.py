@@ -1,0 +1,358 @@
+"""Critical-path profiling over recorded span trees.
+
+Consumes the spans a campaign recorded (see :mod:`repro.obs.spans`) and
+answers the operator questions flat events cannot:
+
+* **stage breakdown** — where one visit's time goes on average
+  (navigate vs script-exec vs topics calls vs attestation probes), with
+  p50/p95/p99 alongside the mean;
+* **critical path** — the chain of spans that bounds the campaign's
+  wall-clock, from the root down to the single stage that finished last;
+* **straggler report** — which shard sets the merged campaign's
+  ``finished_at``, and whether its slice size, its per-visit cost, or
+  its retries made it slow;
+* **slow visits** — the N most expensive visits and their dominant
+  stage.
+
+Stage durations can also be fed into a :class:`~repro.obs.metrics
+.MetricsRegistry` histogram (``stage_seconds{stage=...}``) so profiles
+merge and round-trip like every other metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    SPAN_RETRY,
+    SPAN_SHARD,
+    SPAN_VISIT,
+    Span,
+)
+
+#: Histogram bounds for per-stage durations (simulated seconds): stages
+#: are sub-visit slices, so the buckets are much finer than the visit
+#: defaults.
+STAGE_BUCKETS: tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0,
+)
+
+#: Straggler explanations, ranked by the dominant deviation.
+REASON_SLICE = "slice size"
+REASON_COST = "per-visit cost"
+REASON_RETRIES = "retries"
+REASON_BALANCED = "balanced load"
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated quantile of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return sorted_values[0]
+    if q >= 1:
+        return sorted_values[-1]
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+@dataclass(frozen=True)
+class StageStat:
+    """Latency summary of one span name across the campaign."""
+
+    name: str
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+
+def stage_breakdown(spans: Iterable[Span]) -> list[StageStat]:
+    """Per-name latency stats, ordered by total time (descending)."""
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        durations.setdefault(span.name, []).append(span.duration)
+    stats = []
+    for name, values in durations.items():
+        values.sort()
+        total = sum(values)
+        stats.append(
+            StageStat(
+                name=name,
+                count=len(values),
+                total=total,
+                mean=total / len(values),
+                p50=_quantile(values, 0.50),
+                p95=_quantile(values, 0.95),
+                p99=_quantile(values, 0.99),
+                max=values[-1],
+            )
+        )
+    stats.sort(key=lambda s: (-s.total, s.name))
+    return stats
+
+
+def observe_stage_histograms(
+    spans: Iterable[Span],
+    metrics: MetricsRegistry,
+    buckets: tuple[float, ...] = STAGE_BUCKETS,
+) -> None:
+    """Feed span durations into ``stage_seconds{stage=...}`` histograms."""
+    for span in spans:
+        metrics.observe("stage_seconds", span.duration, buckets, stage=span.name)
+
+
+def critical_path(spans: Iterable[Span]) -> list[Span]:
+    """The chain of spans bounding the campaign's finish time.
+
+    Starts from the root that ends last and repeatedly descends into the
+    child that ends last — the span whose completion gates its parent's.
+    Ties break deterministically on ``(end, start, span_id)``.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    by_id = {span.span_id: span for span in spans}
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+
+    def latest(candidates: list[Span]) -> Span:
+        return max(candidates, key=lambda s: (s.end, s.start, s.span_id))
+
+    path = [latest(children[None])]
+    while True:
+        descendants = children.get(path[-1].span_id)
+        if not descendants:
+            return path
+        path.append(latest(descendants))
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """One shard's contribution to the parallel wall-clock."""
+
+    shard: int
+    visits: int
+    finished_at: float
+    duration: float
+    mean_visit: float
+    retries: int
+
+
+@dataclass(frozen=True)
+class StragglerReport:
+    """Which shard bounds the merged campaign, and why."""
+
+    shards: tuple[ShardTiming, ...]
+    straggler: ShardTiming
+    reason: str
+    #: Relative deviation of the dominant factor vs. the other shards.
+    severity: float
+
+
+def _shard_timings(spans: list[Span]) -> list[ShardTiming]:
+    by_id = {span.span_id: span for span in spans}
+    shard_of: dict[int, Span] = {}
+
+    def owning_shard(span: Span) -> Span | None:
+        cursor: Span | None = span
+        while cursor is not None:
+            if cursor.name == SPAN_SHARD:
+                return cursor
+            cursor = by_id.get(cursor.parent_id)
+        return None
+
+    visits: dict[int, list[Span]] = {}
+    retries: dict[int, int] = {}
+    for span in spans:
+        if span.name == SPAN_SHARD:
+            shard_of[span.span_id] = span
+    for span in spans:
+        if span.name not in (SPAN_VISIT, SPAN_RETRY):
+            continue
+        shard = owning_shard(span)
+        if shard is None:
+            continue
+        index = int(shard.fields.get("shard", 0))
+        if span.name == SPAN_VISIT:
+            visits.setdefault(index, []).append(span)
+        else:
+            retries[index] = retries.get(index, 0) + 1
+
+    timings = []
+    for span in sorted(shard_of.values(), key=lambda s: int(s.fields.get("shard", 0))):
+        index = int(span.fields.get("shard", 0))
+        shard_visits = visits.get(index, [])
+        total_visit_time = sum(v.duration for v in shard_visits)
+        timings.append(
+            ShardTiming(
+                shard=index,
+                visits=len(shard_visits),
+                finished_at=span.end,
+                duration=span.duration,
+                mean_visit=(
+                    total_visit_time / len(shard_visits) if shard_visits else 0.0
+                ),
+                retries=retries.get(index, 0),
+            )
+        )
+    return timings
+
+
+def straggler_report(spans: Iterable[Span]) -> StragglerReport | None:
+    """Explain which shard sets the parallel wall-clock.
+
+    Returns ``None`` for unsharded campaigns.  The explanation compares
+    the straggler against the mean of the other shards along three axes
+    — slice size (visits), per-visit cost, retries — and names the one
+    that deviates most; within ±5% on every axis the load is declared
+    balanced.
+    """
+    timings = _shard_timings(list(spans))
+    if not timings:
+        return None
+    straggler = max(timings, key=lambda t: (t.finished_at, t.shard))
+    others = [t for t in timings if t.shard != straggler.shard]
+    if not others:
+        return StragglerReport(
+            shards=tuple(timings),
+            straggler=straggler,
+            reason=REASON_BALANCED,
+            severity=0.0,
+        )
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    def deviation(value: float, baseline: float) -> float:
+        if baseline <= 0:
+            return 0.0 if value <= 0 else float("inf")
+        return value / baseline - 1.0
+
+    axes = (
+        (REASON_SLICE, deviation(straggler.visits, mean([t.visits for t in others]))),
+        (
+            REASON_COST,
+            deviation(straggler.mean_visit, mean([t.mean_visit for t in others])),
+        ),
+        (
+            REASON_RETRIES,
+            deviation(straggler.retries, mean([t.retries for t in others])),
+        ),
+    )
+    reason, severity = max(axes, key=lambda axis: axis[1])
+    if severity <= 0.05:
+        reason, severity = REASON_BALANCED, max(severity, 0.0)
+    return StragglerReport(
+        shards=tuple(timings),
+        straggler=straggler,
+        reason=reason,
+        severity=severity,
+    )
+
+
+@dataclass(frozen=True)
+class SlowVisit:
+    """One expensive visit and the stage that dominated it."""
+
+    domain: str
+    phase: str | None
+    shard: int | None
+    start: float
+    duration: float
+    dominant_stage: str | None
+    dominant_seconds: float
+
+
+@dataclass(frozen=True)
+class SlowVisitReport:
+    """The N most expensive visits of a campaign."""
+
+    visits: tuple[SlowVisit, ...]
+    considered: int
+
+
+def slow_visits(spans: Iterable[Span], top_n: int = 10) -> SlowVisitReport:
+    """Rank visit spans by duration and name each one's dominant stage."""
+    spans = list(spans)
+    visit_spans = [span for span in spans if span.name == SPAN_VISIT]
+    children: dict[int, dict[str, float]] = {}
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        stage_totals = children.setdefault(span.parent_id, {})
+        stage_totals[span.name] = stage_totals.get(span.name, 0.0) + span.duration
+
+    ranked = sorted(
+        visit_spans, key=lambda s: (-s.duration, s.start, s.span_id)
+    )[:top_n]
+    rows = []
+    for span in ranked:
+        stage_totals = children.get(span.span_id, {})
+        dominant = max(
+            stage_totals.items(), key=lambda kv: (kv[1], kv[0]), default=None
+        )
+        rows.append(
+            SlowVisit(
+                domain=str(span.fields.get("domain", "?")),
+                phase=span.fields.get("phase"),
+                shard=span.fields.get("shard"),
+                start=span.start,
+                duration=span.duration,
+                dominant_stage=dominant[0] if dominant else None,
+                dominant_seconds=dominant[1] if dominant else 0.0,
+            )
+        )
+    return SlowVisitReport(visits=tuple(rows), considered=len(visit_spans))
+
+
+@dataclass(frozen=True)
+class CampaignProfile:
+    """Everything the profiler derives from one campaign's spans."""
+
+    stages: tuple[StageStat, ...]
+    critical_path: tuple[Span, ...]
+    straggler: StragglerReport | None
+    slow: SlowVisitReport
+    span_count: int = 0
+    wall_seconds: float = 0.0
+    stage_names: tuple[str, ...] = field(default_factory=tuple)
+
+
+def build_profile(
+    spans: Iterable[Span],
+    top_n: int = 10,
+    metrics: MetricsRegistry | None = None,
+) -> CampaignProfile:
+    """Digest a span list into a :class:`CampaignProfile`.
+
+    When ``metrics`` is given, per-stage durations also land in its
+    ``stage_seconds`` histograms (mergeable across campaigns).
+    """
+    spans = list(spans)
+    if metrics is not None:
+        observe_stage_histograms(spans, metrics)
+    stages = tuple(stage_breakdown(spans))
+    path = tuple(critical_path(spans))
+    wall = 0.0
+    if spans:
+        wall = max(s.end for s in spans) - min(s.start for s in spans)
+    return CampaignProfile(
+        stages=stages,
+        critical_path=path,
+        straggler=straggler_report(spans),
+        slow=slow_visits(spans, top_n=top_n),
+        span_count=len(spans),
+        wall_seconds=wall,
+        stage_names=tuple(stat.name for stat in stages),
+    )

@@ -41,6 +41,23 @@ class EventKind(str, Enum):
 
 
 @dataclass(frozen=True, slots=True)
+class TraceMeta:
+    """Ring-buffer bookkeeping persisted as the JSONL leading line.
+
+    Without it, a trace file that silently lost its oldest events to the
+    ring buffer is indistinguishable from a complete one.
+    """
+
+    emitted: int
+    dropped: int
+    capacity: int
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.emitted if self.emitted else 0.0
+
+
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One traced occurrence.
 
@@ -128,24 +145,68 @@ class Tracer:
 
     # -- persistence ----------------------------------------------------------
 
+    def meta(self) -> TraceMeta:
+        return TraceMeta(
+            emitted=self._seq, dropped=self.dropped, capacity=self.capacity
+        )
+
     def to_jsonl(self, path: str | Path) -> None:
-        """Write the buffered events, one JSON object per line."""
+        """Write a meta line, then the buffered events one per line.
+
+        The leading ``{"meta": ...}`` line records emitted/dropped/
+        capacity so readers can tell a complete trace from one whose
+        oldest events fell out of the ring buffer.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        meta = self.meta()
         with path.open("w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "meta": {
+                            "emitted": meta.emitted,
+                            "dropped": meta.dropped,
+                            "capacity": meta.capacity,
+                        }
+                    }
+                )
+            )
+            handle.write("\n")
             for event in self._buffer:
                 handle.write(event.to_json())
                 handle.write("\n")
 
     @staticmethod
     def read_jsonl(path: str | Path) -> list[TraceEvent]:
-        """Load a trace previously written by :meth:`to_jsonl`."""
+        """Load a trace previously written by :meth:`to_jsonl`.
+
+        Accepts traces with or without the leading meta line (PR 1 wrote
+        none); use :meth:`read_meta` for the bookkeeping.
+        """
         events: list[TraceEvent] = []
         with Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
-                if line.strip():
+                if line.strip() and not line.startswith('{"meta"'):
                     events.append(TraceEvent.from_json(line))
         return events
+
+    @staticmethod
+    def read_meta(path: str | Path) -> TraceMeta | None:
+        """The meta line of a trace file, or ``None`` for legacy traces."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                if line.startswith('{"meta"'):
+                    data = json.loads(line)["meta"]
+                    return TraceMeta(
+                        emitted=data["emitted"],
+                        dropped=data["dropped"],
+                        capacity=data["capacity"],
+                    )
+                return None
+        return None
 
     def replay(
         self, events: Iterable[TraceEvent], **extra_fields

@@ -61,6 +61,82 @@ class TestCommands:
         # With gating intact, no !Allowed caller gets through.
         assert "!Allowed                    0" in out
 
+    def test_crawl_span_out_round_trips(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        span_path = tmp_path / "spans.jsonl"
+        assert main(
+            [
+                "crawl", "--sites", "1200", "--out", out_dir,
+                "--span-out", str(span_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spans to" in out
+        assert "Campaign profile" in out
+        assert "stage breakdown" in out
+
+        from repro.obs import SpanRecorder
+
+        spans = SpanRecorder.read_jsonl(span_path)
+        assert spans
+        assert SpanRecorder.read_meta(span_path).dropped == 0
+        assert any(s.name == "campaign" for s in spans)
+
+    def test_crawl_chrome_trace_is_valid(self, capsys, tmp_path):
+        """Acceptance pin: --chrome-trace-out emits loadable trace JSON
+        where every event has ph/ts/name and B/E pairs balance."""
+        import json
+
+        out_dir = str(tmp_path / "campaign")
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "crawl", "--sites", "1200", "--out", out_dir, "--shards", "3",
+                "--chrome-trace-out", str(trace_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads(trace_path.read_text())
+        events = data["traceEvents"]
+        assert events
+        stacks = {}
+        for event in events:
+            assert event["ph"] in ("B", "E")
+            assert "ts" in event and "name" in event
+            stack = stacks.setdefault((event["pid"], event["tid"]), [])
+            if event["ph"] == "B":
+                stack.append(event["name"])
+            else:
+                assert stack and stack[-1] == event["name"]
+                stack.pop()
+        assert all(not stack for stack in stacks.values())
+
+    def test_crawl_progress_line(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        assert main(
+            [
+                "crawl", "--sites", "1200", "--out", out_dir, "--shards", "2",
+                "--progress",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "crawl:" in err
+        assert "visits/s" in err
+        assert "shards 0:" in err
+        assert err.endswith("\n")
+
+    def test_crawl_sharded_profile_names_straggler(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        assert main(
+            [
+                "crawl", "--sites", "1500", "--out", out_dir, "--shards", "3",
+                "--span-out", str(tmp_path / "spans.jsonl"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "straggler:" in out
+        assert "bounds the campaign's finished_at" in out
+
     def test_analyze_missing_dir(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["analyze", "--data", str(tmp_path / "nope")])

@@ -22,7 +22,15 @@ from repro.crawler.campaign import (
 from repro.crawler.dataset import Dataset, PHASE_AFTER, PHASE_BEFORE, VisitRecord
 from repro.crawler.parallel import ShardPlan, ShardedCrawl, _ShardOutcome
 from repro.crawler.wellknown import AttestationSurvey
-from repro.obs import MetricsRegistry, NULL_METRICS, NULL_TRACER, Tracer
+from repro.obs import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    SpanRecorder,
+    Tracer,
+)
+from repro.obs.profile import straggler_report
+from repro.obs.spans import SPAN_CAMPAIGN, SPAN_SHARD
 from repro.web.config import WorldConfig
 from repro.web.generator import WebGenerator
 
@@ -38,26 +46,33 @@ def eq_world():
 
 @pytest.fixture(scope="module")
 def sequential(eq_world):
-    tracer, metrics = Tracer(), MetricsRegistry()
+    tracer, metrics, spans = Tracer(), MetricsRegistry(), SpanRecorder()
     result = CrawlCampaign(
-        eq_world, corrupt_allowlist=True, tracer=tracer, metrics=metrics
+        eq_world, corrupt_allowlist=True, tracer=tracer, metrics=metrics,
+        spans=spans,
     ).run()
-    return result, tracer, metrics
+    return result, tracer, metrics, spans
 
 
 @pytest.fixture(scope="module")
 def sharded(eq_world):
-    tracer, metrics = Tracer(), MetricsRegistry()
+    tracer, metrics, spans = Tracer(), MetricsRegistry(), SpanRecorder()
     result = ShardedCrawl(
-        eq_world, shard_count=4, tracer=tracer, metrics=metrics
+        eq_world, shard_count=4, tracer=tracer, metrics=metrics, spans=spans
     ).run()
-    return result, tracer, metrics
+    return result, tracer, metrics, spans
+
+
+@pytest.fixture(scope="module")
+def plain_sequential(eq_world):
+    """The same campaign with every recorder left at its no-op default."""
+    return CrawlCampaign(eq_world, corrupt_allowlist=True).run()
 
 
 class TestSurveyEquivalence:
     def test_identical_attestation_surveys(self, sequential, sharded):
-        seq_result, _, _ = sequential
-        sh_result, _, _ = sharded
+        seq_result = sequential[0]
+        sh_result = sharded[0]
         seq_domains = {d for d in map(lambda p: p.domain, seq_result.survey._by_domain.values())}
         sh_domains = {d for d in map(lambda p: p.domain, sh_result.survey._by_domain.values())}
         assert seq_domains == sh_domains
@@ -65,8 +80,8 @@ class TestSurveyEquivalence:
             assert seq_result.survey.probe(domain) == sh_result.survey.probe(domain)
 
     def test_identical_datasets(self, sequential, sharded):
-        seq_result, _, _ = sequential
-        sh_result, _, _ = sharded
+        seq_result = sequential[0]
+        sh_result = sharded[0]
         assert {r.domain for r in seq_result.d_ba} == {
             r.domain for r in sh_result.d_ba
         }
@@ -113,6 +128,124 @@ class TestMetricsCrossCheck:
         }
         assert sh_kinds == seq_kinds
         assert shard_events == {"shard-started": 4, "shard-merged": 4}
+
+
+class TestMergedTraceOrdering:
+    """Satellite pin: the merged trace interleaves shards in replay order.
+
+    ``ShardedCrawl._merge`` used to replay shard 0's entire history, then
+    shard 1's, and so on; the fold now sorts by ``(at, shard_index,
+    seq)``, so the campaign-level trace reads chronologically.
+    """
+
+    def test_merged_events_sorted_by_at_then_shard(self, sharded):
+        tracer = sharded[1]
+        lifecycle = {"shard-merged"}
+        keys = [
+            (event.at, event.fields["shard"])
+            for event in tracer
+            if event.kind not in lifecycle and "shard" in event.fields
+        ]
+        assert keys, "expected shard-tagged events in the merged trace"
+        assert keys == sorted(keys)
+
+    def test_merge_folds_handcrafted_traces_in_time_order(self, eq_world):
+        tracer = Tracer()
+        sharded = ShardedCrawl(eq_world, shard_count=2, tracer=tracer)
+        outcomes = []
+        for shard, times in enumerate(((5, 20), (1, 12))):
+            shard_tracer = Tracer()
+            for at in times:
+                shard_tracer.emit("probe", at=at)
+            report = CrawlReport(started_at=0, finished_at=max(times))
+            outcomes.append(
+                _ShardOutcome(
+                    result=CrawlResult(
+                        d_ba=Dataset("D_BA"),
+                        d_aa=Dataset("D_AA"),
+                        report=report,
+                        allowed_domains=frozenset(),
+                        survey=AttestationSurvey(()),
+                    ),
+                    tracer=shard_tracer,
+                    metrics=MetricsRegistry(),
+                )
+            )
+        plans = [
+            ShardPlan(shard_index=0, domains=("a.com",), rank_offset=0),
+            ShardPlan(shard_index=1, domains=("b.com",), rank_offset=1),
+        ]
+        sharded._merge(plans, outcomes)
+        probes = [
+            (event.at, event.fields["shard"])
+            for event in tracer.events("probe")
+        ]
+        # Time-sorted fold, not shard 0 then shard 1.
+        assert probes == [(1, 1), (5, 0), (12, 1), (20, 0)]
+
+
+class TestSpanEquivalence:
+    """The span layer observes the campaign without perturbing it."""
+
+    def test_results_identical_with_and_without_spans(
+        self, sequential, plain_sequential, tmp_path
+    ):
+        """Recording on must leave results byte-identical to the seed
+        behaviour (spans never touch the clock or any RNG)."""
+        instrumented = sequential[0]
+        plain = plain_sequential
+        for name, left, right in (
+            ("d_ba", instrumented.d_ba, plain.d_ba),
+            ("d_aa", instrumented.d_aa, plain.d_aa),
+        ):
+            left_path = tmp_path / f"{name}_spans.jsonl"
+            right_path = tmp_path / f"{name}_plain.jsonl"
+            left.to_jsonl(left_path)
+            right.to_jsonl(right_path)
+            assert left_path.read_bytes() == right_path.read_bytes()
+        assert instrumented.report == plain.report
+        assert instrumented.survey._by_domain == plain.survey._by_domain
+
+    def test_sequential_tree_shape(self, sequential):
+        result, spans = sequential[0], sequential[3]
+        assert spans.open_depth == 0
+        roots = [s for s in spans.spans() if s.parent_id is None]
+        assert [r.name for r in roots] == [SPAN_CAMPAIGN]
+        assert roots[0].start == float(result.report.started_at)
+        assert roots[0].end == float(result.report.finished_at)
+        visits = spans.spans("visit")
+        assert len(visits) == result.report.ok + result.report.failed + result.report.accepted
+
+    def test_straggler_finish_is_merged_finished_at(self, sharded):
+        """Acceptance pin: the profiler names the shard whose finish time
+        equals the merged report's ``finished_at``."""
+        result, spans = sharded[0], sharded[3]
+        report = straggler_report(spans.spans())
+        assert report is not None
+        assert len(report.shards) == 4
+        assert report.straggler.finished_at == float(result.report.finished_at)
+        assert report.straggler.finished_at == max(
+            timing.finished_at for timing in report.shards
+        )
+
+    def test_merged_tree_grafts_shards_under_one_root(self, sharded):
+        spans = sharded[3]
+        assert spans.open_depth == 0
+        roots = [s for s in spans.spans() if s.parent_id is None]
+        assert [r.name for r in roots] == [SPAN_CAMPAIGN]
+        shard_spans = spans.spans(SPAN_SHARD)
+        assert len(shard_spans) == 4
+        assert {s.parent_id for s in shard_spans} == {roots[0].span_id}
+        assert sorted(s.fields["shard"] for s in shard_spans) == [0, 1, 2, 3]
+
+    def test_merged_spans_fold_in_chronological_order(self, sharded):
+        spans = sharded[3]
+        shard_tagged = [
+            (s.start, s.fields["shard"])
+            for s in spans.spans()
+            if "shard" in s.fields
+        ]
+        assert shard_tagged == sorted(shard_tagged)
 
 
 def _record(domain: str, phase: str, third_parties: tuple[str, ...]) -> VisitRecord:

@@ -68,6 +68,25 @@ class TestTracer:
         events = Tracer.read_jsonl(path)
         assert events == tracer.events()
 
+    def test_jsonl_meta_records_drops(self, tmp_path):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.emit(EventKind.VISIT_STARTED, at=index)
+        path = tmp_path / "trace.jsonl"
+        tracer.to_jsonl(path)
+        meta = Tracer.read_meta(path)
+        assert (meta.emitted, meta.dropped, meta.capacity) == (5, 3, 2)
+        assert meta.drop_rate == pytest.approx(0.6)
+        # The meta line does not leak into the event stream.
+        events = Tracer.read_jsonl(path)
+        assert [event.at for event in events] == [3, 4]
+
+    def test_read_meta_none_for_legacy_trace(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"at": 1, "kind": "visit-started", "seq": 0}\n')
+        assert Tracer.read_meta(path) is None
+        assert len(Tracer.read_jsonl(path)) == 1
+
     def test_replay_tags_events(self):
         shard = Tracer()
         shard.emit(EventKind.VISIT_STARTED, at=1, domain="a.com")
@@ -124,6 +143,44 @@ class TestMetricsRegistry:
         assert data.bucket_counts[0] == 1
         assert data.bucket_counts[1] == 2
         assert sum(data.bucket_counts) == 4
+
+    def test_quantile_interpolates_within_buckets(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):  # 1..100 over buckets (1,2,5,...,1800)
+            metrics.observe("seconds", value)
+        data = metrics.snapshot().histogram("seconds")
+        assert data.quantile(0.0) == 1
+        assert data.quantile(1.0) == 100
+        # p50 = 50th of 100 observations: inside the (30, 60] bucket.
+        assert 30 <= data.quantile(0.50) <= 60
+        assert data.quantile(0.95) >= data.quantile(0.50)
+        # Estimates never leave the observed range.
+        assert 1 <= data.quantile(0.99) <= 100
+
+    def test_quantile_single_observation(self):
+        metrics = MetricsRegistry()
+        metrics.observe("seconds", 3.5)
+        data = metrics.snapshot().histogram("seconds")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert data.quantile(q) == 3.5
+
+    def test_quantile_of_empty_histogram(self):
+        from repro.obs import HistogramData
+
+        empty = HistogramData(
+            bounds=(1.0,), bucket_counts=(0, 0), count=0, total=0.0,
+            min=float("inf"), max=float("-inf"),
+        )
+        assert empty.quantile(0.5) == 0.0
+
+    def test_histogram_total_merges_labelsets(self):
+        metrics = MetricsRegistry()
+        metrics.observe("visit_seconds", 1, outcome="ok")
+        metrics.observe("visit_seconds", 2, outcome="failed")
+        merged = metrics.snapshot().histogram_total("visit_seconds")
+        assert merged.count == 2
+        assert merged.min == 1 and merged.max == 2
+        assert metrics.snapshot().histogram_total("absent") is None
 
     def test_snapshot_is_detached(self):
         metrics = MetricsRegistry()
@@ -251,6 +308,8 @@ class TestMetricsReport:
         metrics.counter("crawl_failures_total", 20, kind="dns-resolution-failed")
         metrics.counter("crawl_banners_total", 30, result="accepted")
         metrics.counter("attestation_probes_total", 12, result="attested")
+        for value in (1, 1, 2, 2):
+            metrics.observe("visit_seconds", value, outcome="ok")
         metrics.gauge("crawl_duration_seconds", 200)
         metrics.gauge("shard_visits", 30, shard=0)
         metrics.gauge("shard_visits", 50, shard=1)
@@ -283,10 +342,59 @@ class TestMetricsReport:
         assert "shard skew:" in rendered
         assert "dns-resolution-failed" in rendered
 
+    def test_visit_latency_quantiles(self):
+        report = build_metrics_report(self._snapshot())
+        assert report.visit_mean == pytest.approx(1.5)
+        assert report.visit_p50 is not None
+        assert report.visit_p50 <= report.visit_p95 <= report.visit_p99
+        rendered = render_metrics_report(report)
+        assert "visit latency:" in rendered
+        assert "p95=" in rendered
+
+    def test_latency_omitted_without_histogram(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("crawl_duration_seconds", 10)
+        report = build_metrics_report(metrics.snapshot())
+        assert report.visit_mean is None
+        assert "visit latency" not in render_metrics_report(report)
+
+
+class TestTraceHealth:
+    def test_complete_trace(self):
+        from repro.analysis.obs_report import render_trace_health
+
+        tracer = Tracer()
+        tracer.emit(EventKind.VISIT_STARTED, at=0)
+        assert "complete" in render_trace_health(tracer.meta())
+
+    def test_dropped_events_warn(self):
+        from repro.analysis.obs_report import render_trace_health
+
+        tracer = Tracer(capacity=2)
+        for index in range(10):
+            tracer.emit(EventKind.VISIT_STARTED, at=index)
+        rendered = render_trace_health(tracer.meta())
+        assert rendered.startswith("WARNING")
+        assert "8" in rendered and "80.0%" in rendered
+
+    def test_legacy_trace_is_unknown(self):
+        from repro.analysis.obs_report import render_trace_health
+
+        assert "unknown" in render_trace_health(None)
+
 
 def test_format_series():
     assert format_series("visits", ()) == "visits"
     assert (
         format_series("visits", (("outcome", "ok"), ("phase", "before")))
         == 'visits{outcome="ok",phase="before"}'
+    )
+
+
+def test_format_series_escapes_label_values():
+    # Prometheus exposition format: backslash, quote and newline must be
+    # escaped inside label values.
+    assert (
+        format_series("errors", (("msg", 'a "quoted" \\ path\nnext'),))
+        == 'errors{msg="a \\"quoted\\" \\\\ path\\nnext"}'
     )
