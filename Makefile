@@ -2,13 +2,21 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-small bench-obs bench-spans study experiments examples clean
+.PHONY: install test lint bench bench-small bench-smoke bench-obs bench-spans ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# Ruff is optional locally (no network deps baked in); CI always runs it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -25,6 +33,19 @@ bench-obs:
 # Span-recording overhead: NULL_RECORDER baseline vs a live SpanRecorder.
 bench-spans:
 	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/bench_crawl_throughput.py -k spans --benchmark-only
+
+# The reduced-scale benchmark job CI runs on every push.
+bench-smoke:
+	REPRO_BENCH_SITES=2000 $(PY) -m pytest \
+		benchmarks/bench_crawl_throughput.py \
+		benchmarks/bench_parallel_crawl.py \
+		benchmarks/bench_checkpoint.py \
+		--benchmark-only
+
+# Mirror of .github/workflows/ci.yml: lint, tier-1 suite, bench smoke.
+ci: lint
+	PYTHONPATH=src $(PY) -m pytest -x -q
+	PYTHONPATH=src $(MAKE) bench-smoke
 
 study:
 	$(PY) -m repro study

@@ -10,13 +10,14 @@ contexts — and returns everything the paper's crawler records about it.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.attestation.allowlist import AllowListDatabase
 from repro.browser.consent import ConsentLedger
 from repro.browser.context import root_context_for
-from repro.browser.cookies import CookieJar, CookieTracker
+from repro.browser.cookies import Cookie, CookieJar, CookieTracker
 from repro.browser.network import BrowserCache, NetworkLog, NetworkStack
 from repro.browser.script import ScriptOriginMode, ScriptRuntime
 from repro.browser.failures import failure_kind_for
@@ -44,6 +45,12 @@ if TYPE_CHECKING:
 #: Error label for a domain outside the generated world entirely
 #: (real failure causes come from :mod:`repro.browser.failures`).
 ERROR_UNKNOWN_HOST = "unknown-host"
+
+
+def state_digest_of(snapshot: dict) -> str:
+    """Stable hex digest of a browser state snapshot (canonical JSON)."""
+    canonical = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return f"{stable_digest('browser-state', canonical):016x}"
 
 
 @dataclass(frozen=True)
@@ -130,6 +137,110 @@ class Browser:
     def refresh_allowlist(self) -> None:
         """Re-install a healthy allow-list component (browser restart)."""
         self.allowlist_db.update(self._world.registry.allowlist().serialize())
+
+    # -- state snapshot / restore ----------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Everything a checkpoint must capture to resume this profile.
+
+        The snapshot is a plain JSON-serialisable dict covering every
+        piece of state a visit reads: the simulated clock, the visit
+        counter (the pacing-RNG cursor — ``load_seconds`` is drawn from
+        it), the per-domain failed-attempt counts (transient failures
+        recover on the second try), the consent ledger, the object
+        cache, the cookie jar, the tracking-impression log and the full
+        per-epoch Topics browsing history.  Restoring it into a freshly
+        constructed browser (same world, seed and allow-list mode)
+        reproduces the exact visit stream an uninterrupted run would
+        have produced — the resume-equivalence tests pin this byte for
+        byte.  Derived state (selector epoch caches, drained call log)
+        is deliberately excluded: it is recomputed on demand.
+        """
+        history = self.topics_manager.history
+        epochs = {}
+        for epoch in history.epochs():
+            record = history._epochs[epoch]
+            epochs[str(epoch)] = {
+                "visits": dict(sorted(record.visit_counts.items())),
+                "observers": {
+                    site: sorted(callers)
+                    for site, callers in sorted(record.observers.items())
+                },
+            }
+        return {
+            "clock_now": self.clock.now(),
+            "rng_cursor": self._visit_counter,
+            "failed_attempts": dict(sorted(self._failed_attempts.items())),
+            "consent": sorted(self.consent._granted),
+            "cache": sorted(self._network.cache._entries),
+            "allowlist_corrupt": self.allowlist_db.is_corrupt,
+            "cookies": [
+                {
+                    "domain": cookie.domain,
+                    "name": cookie.name,
+                    "value": cookie.value,
+                    "created_at": cookie.created_at,
+                    "third_party": cookie.third_party,
+                }
+                for (_, _), cookie in sorted(self.cookie_jar._store.items())
+            ],
+            "impressions": [list(entry) for entry in self.cookie_tracker.impressions],
+            "history": epochs,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Rehydrate a profile from :meth:`state_snapshot`'s output.
+
+        The browser must have been constructed for the same world with
+        the same ``user_seed`` and allow-list mode; only mutable visit
+        state is restored here.
+        """
+        if bool(snapshot["allowlist_corrupt"]) != self.allowlist_db.is_corrupt:
+            raise ValueError(
+                "allow-list mode mismatch: snapshot was taken with "
+                f"corrupt={snapshot['allowlist_corrupt']}, browser has "
+                f"corrupt={self.allowlist_db.is_corrupt}"
+            )
+        self.clock.advance_to(int(snapshot["clock_now"]))
+        self._visit_counter = int(snapshot["rng_cursor"])
+        self._failed_attempts = {
+            domain: int(count)
+            for domain, count in snapshot["failed_attempts"].items()
+        }
+        self.consent.clear()
+        for domain in snapshot["consent"]:
+            self.consent.grant(domain)
+        self._network.cache.clear()
+        for url in snapshot["cache"]:
+            self._network.cache._entries.add(url)
+        self.cookie_jar.clear()
+        for payload in snapshot["cookies"]:
+            self.cookie_jar._store[(payload["domain"], payload["name"])] = Cookie(
+                domain=payload["domain"],
+                name=payload["name"],
+                value=payload["value"],
+                created_at=payload["created_at"],
+                third_party=payload["third_party"],
+            )
+        self.cookie_tracker.impressions = [
+            tuple(entry) for entry in snapshot["impressions"]
+        ]
+        history = self.topics_manager.history
+        history.clear()
+        for epoch_key, record in snapshot["history"].items():
+            epoch = int(epoch_key)
+            for site, count in record["visits"].items():
+                history._epochs[epoch].visit_counts[site] = int(count)
+            for site, callers in record["observers"].items():
+                history._epochs[epoch].observers[site].update(callers)
+
+    def state_digest(self) -> str:
+        """Stable hex digest of the current profile state.
+
+        Checkpoints store it so a restore can verify the rehydrated
+        browser matches the state the writer captured.
+        """
+        return state_digest_of(self.state_snapshot())
 
     # -- instrumentation ------------------------------------------------------------
 

@@ -118,7 +118,33 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             tracker = ProgressTracker(targets, shard_sizes=shard_sizes)
         spans = SpanRecorder(listener=tracker)
 
-    if args.shards > 1:
+    partial = None
+    if args.checkpoint_dir:
+        from repro.crawler.checkpoint import RetryPolicy
+        from repro.crawler.resumable import ResumableCrawl
+
+        outcome = ResumableCrawl(
+            world,
+            checkpoint_dir=args.checkpoint_dir,
+            shard_count=max(args.shards, 1),
+            checkpoint_every=args.checkpoint_every,
+            corrupt_allowlist=not args.healthy_allowlist,
+            limit=args.limit,
+            resume=args.resume,
+            allow_partial=args.allow_partial,
+            retry_policy=RetryPolicy(max_retries=args.max_shard_retries),
+            tracer=tracer,
+            metrics=metrics,
+            spans=spans,
+        ).run()
+        result = outcome.result
+        partial = outcome.partial
+        if outcome.resumed_shards:
+            resumed = ", ".join(str(s) for s in outcome.resumed_shards)
+            print(f"resumed shards {resumed} from {args.checkpoint_dir}/")
+        if outcome.retries:
+            print(f"recovered from {len(outcome.retries)} shard failure(s)")
+    elif args.shards > 1:
         result = ShardedCrawl(
             world,
             shard_count=args.shards,
@@ -145,6 +171,14 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     )
     save_crawl(result, args.out)
     print(f"archived campaign under {args.out}/")
+    if partial is not None:
+        from pathlib import Path
+
+        partial_path = partial.save(Path(args.out) / "partial.json")
+        print(
+            f"PARTIAL campaign: {partial.missing_targets:,} targets missing "
+            f"across {len(partial.missing)} range(s); see {partial_path}"
+        )
     if args.trace_out:
         tracer.to_jsonl(args.trace_out)
         print(f"wrote {len(tracer):,} trace events to {args.trace_out}")
@@ -323,6 +357,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print a live progress line (visits/s, ETA, per-shard completion)",
+    )
+    crawl.add_argument(
+        "--checkpoint-dir",
+        help="write periodic per-shard checkpoints to this directory "
+        "(enables crash-safe, resumable crawling)",
+    )
+    crawl.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=500,
+        help="checkpoint each shard every N visits (default: 500)",
+    )
+    crawl.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume each shard from its newest checkpoint in --checkpoint-dir",
+    )
+    crawl.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="when a shard exhausts its retries, archive what exists and "
+        "write a partial.json naming the missing rank ranges",
+    )
+    crawl.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=3,
+        help="restarts granted to each shard before the campaign fails "
+        "(default: 3)",
     )
     crawl.set_defaults(func=_cmd_crawl)
 

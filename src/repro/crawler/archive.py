@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.crawler.campaign import CrawlReport, CrawlResult
 from repro.crawler.dataset import Dataset
 from repro.crawler.wellknown import AttestationSurvey
+from repro.util.fsio import atomic_write_text
 
 _D_BA_FILE = "d_ba.jsonl"
 _D_AA_FILE = "d_aa.jsonl"
@@ -30,11 +31,15 @@ def save_crawl(result: CrawlResult, directory: str | Path) -> Path:
     result.d_ba.to_jsonl(target / _D_BA_FILE)
     result.d_aa.to_jsonl(target / _D_AA_FILE)
     result.survey.to_jsonl(target / _SURVEY_FILE)
-    (target / _ALLOWED_FILE).write_text(
-        "\n".join(sorted(result.allowed_domains)) + "\n", encoding="utf-8"
+    atomic_write_text(
+        target / _ALLOWED_FILE, "\n".join(sorted(result.allowed_domains)) + "\n"
     )
-    (target / _REPORT_FILE).write_text(
-        json.dumps(dataclasses.asdict(result.report), indent=2), encoding="utf-8"
+    # sort_keys keeps the archive canonical: a resumed campaign rebuilds
+    # failure_kinds in checkpoint order, not first-seen order, and the
+    # two must still archive byte-identically.
+    atomic_write_text(
+        target / _REPORT_FILE,
+        json.dumps(dataclasses.asdict(result.report), indent=2, sort_keys=True),
     )
     return target
 

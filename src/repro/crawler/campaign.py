@@ -17,10 +17,11 @@ party — the inputs of Table 1's Allowed/Attested classification.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.browser.browser import Browser, VisitOutcome
+from repro.browser.browser import Browser, VisitOutcome, state_digest_of
 from repro.browser.script import ScriptOriginMode
 from repro.crawler.dataset import (
     CallRecord,
@@ -40,10 +41,18 @@ from repro.obs import (
     SpanRecorder,
     Tracer,
 )
-from repro.obs.spans import SPAN_BANNER, SPAN_CAMPAIGN, SPAN_RETRY, SPAN_VISIT
+from repro.obs.spans import (
+    SPAN_BANNER,
+    SPAN_CAMPAIGN,
+    SPAN_CHECKPOINT_RESTORE,
+    SPAN_CHECKPOINT_WRITE,
+    SPAN_RETRY,
+    SPAN_VISIT,
+)
 from repro.util.timeline import SimClock
 
 if TYPE_CHECKING:
+    from repro.crawler.checkpoint import CheckpointStore, ShardCheckpoint
     from repro.web.generator import SyntheticWeb
 
 
@@ -121,9 +130,18 @@ class CrawlCampaign:
         spans: SpanRecorder = NULL_RECORDER,
         span_root: str = SPAN_CAMPAIGN,
         survey: bool = True,
+        shard_index: int = 0,
+        checkpoint_store: "CheckpointStore | None" = None,
+        checkpoint_every: int | None = None,
+        resume_from: "ShardCheckpoint | None" = None,
+        fault_hook: Callable[[int, str], None] | None = None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if resume_from is not None and checkpoint_store is None:
+            raise ValueError("resume_from requires a checkpoint_store")
         self._world = world
         self._corrupt_allowlist = corrupt_allowlist
         self._user_seed = user_seed
@@ -142,6 +160,17 @@ class CrawlCampaign:
         # full campaign's encountered set (per-shard surveys would be
         # discarded — and double-count the attestation metrics).
         self._survey = survey
+        self._shard_index = shard_index
+        self._checkpoint_store = checkpoint_store
+        # Checkpoint cadence is keyed to the absolute position in the
+        # ranking, so resumed runs checkpoint at the same offsets as the
+        # original attempt and file names stay stable.
+        self._checkpoint_every = checkpoint_every
+        self._resume_from = resume_from
+        # Test seam: invoked with (position, domain) before each target —
+        # raising simulates a worker dying mid-campaign at that exact
+        # visit offset (the resumable tests kill shards through this).
+        self._fault_hook = fault_hook
 
     def run(self) -> CrawlResult:
         """Execute the full Before/After protocol."""
@@ -165,127 +194,77 @@ class CrawlCampaign:
             spans=spans,
         )
 
-        d_ba = Dataset("D_BA")
-        d_aa = Dataset("D_AA")
-        report = CrawlReport(started_at=clock.now())
-
         targets = list(world.tranco)
         if self._limit is not None:
             targets = targets[: self._limit]
-        report.targets = len(targets)
+        total = len(targets)
+
+        d_ba = Dataset("D_BA")
+        d_aa = Dataset("D_AA")
+        resume = self._resume_from
+        if resume is not None:
+            report = self._restore_checkpoint(resume, browser, d_ba, d_aa, total)
+            start_position = resume.visits_done
+        else:
+            report = CrawlReport(started_at=clock.now())
+            start_position = 0
+        report.targets = total
 
         if recording:
-            spans.enter(self._span_root, at=clock.now(), targets=len(targets))
+            spans.enter(self._span_root, at=clock.now(), targets=total)
+        if resume is not None:
+            metrics.counter("checkpoint_restores_total")
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.CHECKPOINT_RESTORED,
+                    at=clock.now(),
+                    shard=self._shard_index,
+                    visits_done=resume.visits_done,
+                    targets=total,
+                )
+            if recording:
+                spans.record(
+                    SPAN_CHECKPOINT_RESTORE,
+                    clock.now(),
+                    clock.now(),
+                    visits_done=resume.visits_done,
+                    targets=total,
+                )
 
         for position, (rank, domain) in enumerate(targets, start=1):
+            if position <= start_position:
+                # Already durable in the resumed checkpoint: the restored
+                # browser state carries these visits' full side effects.
+                continue
             if self._progress is not None and position % 1000 == 0:
-                self._progress(position, len(targets))
+                self._progress(position, total)
+            if self._fault_hook is not None:
+                self._fault_hook(position, domain)
 
-            if recording:
-                spans.enter(
-                    SPAN_VISIT,
-                    at=clock.now(),
-                    domain=domain,
-                    phase=PHASE_BEFORE,
-                    rank=rank,
-                )
-            before = browser.visit(domain)
-            for attempt in range(1, self._retries + 1):
-                if before.ok:
-                    break
-                report.retried += 1
-                metrics.counter("crawl_retries_total")
-                if recording:
-                    spans.enter(
-                        SPAN_RETRY, at=clock.now(), domain=domain, attempt=attempt
-                    )
-                before = browser.visit(domain)
-                if recording:
-                    spans.exit(at=clock.now(), ok=before.ok)
-                if before.ok:
-                    report.recovered += 1
-                    metrics.counter("crawl_recoveries_total")
-            if not before.ok:
-                report.failed += 1
-                report.failure_kinds[before.error] = (
-                    report.failure_kinds.get(before.error, 0) + 1
-                )
-                if instrumented:
-                    metrics.counter(
-                        "crawl_visits_total", phase=PHASE_BEFORE, outcome="failed"
-                    )
-                    metrics.counter("crawl_failures_total", kind=before.error)
-                if recording:
-                    spans.exit(at=clock.now(), ok=False, error=before.error)
-                continue
-            report.ok += 1
+            self._crawl_target(browser, clock, rank, domain, d_ba, d_aa, report)
 
-            detection = self._privaccept.detect_and_accept(before.banner)
-            if detection.banner_found:
-                report.banners_seen += 1
-            d_ba.add(self._record(rank, before, PHASE_BEFORE, detection, world))
-
-            if instrumented:
-                metrics.counter(
-                    "crawl_visits_total", phase=PHASE_BEFORE, outcome="ok"
-                )
-                banner_result = (
-                    "accepted"
-                    if detection.accept_clicked
-                    else "missed" if detection.banner_found else "none"
-                )
-                metrics.counter("crawl_banners_total", result=banner_result)
-                self._tracer.emit(
-                    EventKind.BANNER_INTERACTION,
-                    at=clock.now(),
-                    domain=domain,
-                    banner_found=detection.banner_found,
-                    accept_clicked=detection.accept_clicked,
-                    language=detection.matched_language,
-                    keyword=detection.matched_keyword,
-                )
-            if recording:
-                # The banner interaction happens on the rendered page,
-                # inside the visit's window (the clock does not advance
-                # for it, so the span is an instant).
-                if detection.banner_found:
-                    spans.record(
-                        SPAN_BANNER,
-                        clock.now(),
-                        clock.now(),
-                        domain=domain,
-                        accept_clicked=detection.accept_clicked,
-                    )
-                spans.exit(at=clock.now(), ok=True)
-
-            if not detection.accept_clicked:
-                # No After-Accept visit when consent could not be granted
-                # (no banner, unsupported language, or keyword miss).
-                continue
-            report.accepted += 1
-            browser.consent.grant(domain)
-            browser.clear_cache()
-            if recording:
-                spans.enter(
-                    SPAN_VISIT,
-                    at=clock.now(),
-                    domain=domain,
-                    phase=PHASE_AFTER,
-                    rank=rank,
-                )
-            after = browser.visit(domain)
-            if recording:
-                spans.exit(at=clock.now(), ok=after.ok)
-            if after.ok:
-                d_aa.add(self._record(rank, after, PHASE_AFTER, detection, world))
-                metrics.counter(
-                    "crawl_visits_total", phase=PHASE_AFTER, outcome="ok"
+            if (
+                self._checkpoint_store is not None
+                and self._checkpoint_every is not None
+                and position % self._checkpoint_every == 0
+                and position < total
+            ):
+                self._write_checkpoint(
+                    browser, d_ba, d_aa, report, position, total, complete=False
                 )
 
         report.finished_at = clock.now()
         if instrumented:
             metrics.gauge("crawl_targets", report.targets)
             metrics.gauge("crawl_duration_seconds", report.duration_seconds)
+
+        if self._checkpoint_store is not None:
+            # The final checkpoint makes a finished shard loadable without
+            # re-running anything — resuming a completed campaign is a
+            # pure read.
+            self._write_checkpoint(
+                browser, d_ba, d_aa, report, total, total, complete=True
+            )
 
         if self._survey:
             encountered = attestation_targets(d_ba, d_aa, allowed)
@@ -310,6 +289,211 @@ class CrawlCampaign:
             allowed_domains=allowed,
             survey=survey,
         )
+
+    def _crawl_target(
+        self,
+        browser: Browser,
+        clock: SimClock,
+        rank: int,
+        domain: str,
+        d_ba: Dataset,
+        d_aa: Dataset,
+        report: CrawlReport,
+    ) -> None:
+        """Run the full Before/After protocol for one ranking entry."""
+        world = self._world
+        tracer, metrics, spans = self._tracer, self._metrics, self._spans
+        instrumented = tracer.enabled or metrics.enabled
+        recording = spans.enabled
+
+        if recording:
+            spans.enter(
+                SPAN_VISIT,
+                at=clock.now(),
+                domain=domain,
+                phase=PHASE_BEFORE,
+                rank=rank,
+            )
+        before = browser.visit(domain)
+        for attempt in range(1, self._retries + 1):
+            if before.ok:
+                break
+            report.retried += 1
+            metrics.counter("crawl_retries_total")
+            if recording:
+                spans.enter(
+                    SPAN_RETRY, at=clock.now(), domain=domain, attempt=attempt
+                )
+            before = browser.visit(domain)
+            if recording:
+                spans.exit(at=clock.now(), ok=before.ok)
+            if before.ok:
+                report.recovered += 1
+                metrics.counter("crawl_recoveries_total")
+        if not before.ok:
+            report.failed += 1
+            report.failure_kinds[before.error] = (
+                report.failure_kinds.get(before.error, 0) + 1
+            )
+            if instrumented:
+                metrics.counter(
+                    "crawl_visits_total", phase=PHASE_BEFORE, outcome="failed"
+                )
+                metrics.counter("crawl_failures_total", kind=before.error)
+            if recording:
+                spans.exit(at=clock.now(), ok=False, error=before.error)
+            return
+        report.ok += 1
+
+        detection = self._privaccept.detect_and_accept(before.banner)
+        if detection.banner_found:
+            report.banners_seen += 1
+        d_ba.add(self._record(rank, before, PHASE_BEFORE, detection, world))
+
+        if instrumented:
+            metrics.counter(
+                "crawl_visits_total", phase=PHASE_BEFORE, outcome="ok"
+            )
+            banner_result = (
+                "accepted"
+                if detection.accept_clicked
+                else "missed" if detection.banner_found else "none"
+            )
+            metrics.counter("crawl_banners_total", result=banner_result)
+            tracer.emit(
+                EventKind.BANNER_INTERACTION,
+                at=clock.now(),
+                domain=domain,
+                banner_found=detection.banner_found,
+                accept_clicked=detection.accept_clicked,
+                language=detection.matched_language,
+                keyword=detection.matched_keyword,
+            )
+        if recording:
+            # The banner interaction happens on the rendered page,
+            # inside the visit's window (the clock does not advance
+            # for it, so the span is an instant).
+            if detection.banner_found:
+                spans.record(
+                    SPAN_BANNER,
+                    clock.now(),
+                    clock.now(),
+                    domain=domain,
+                    accept_clicked=detection.accept_clicked,
+                )
+            spans.exit(at=clock.now(), ok=True)
+
+        if not detection.accept_clicked:
+            # No After-Accept visit when consent could not be granted
+            # (no banner, unsupported language, or keyword miss).
+            return
+        report.accepted += 1
+        browser.consent.grant(domain)
+        browser.clear_cache()
+        if recording:
+            spans.enter(
+                SPAN_VISIT,
+                at=clock.now(),
+                domain=domain,
+                phase=PHASE_AFTER,
+                rank=rank,
+            )
+        after = browser.visit(domain)
+        if recording:
+            spans.exit(at=clock.now(), ok=after.ok)
+        if after.ok:
+            d_aa.add(self._record(rank, after, PHASE_AFTER, detection, world))
+            metrics.counter(
+                "crawl_visits_total", phase=PHASE_AFTER, outcome="ok"
+            )
+
+    def _restore_checkpoint(
+        self,
+        checkpoint: "ShardCheckpoint",
+        browser: Browser,
+        d_ba: Dataset,
+        d_aa: Dataset,
+        total: int,
+    ) -> CrawlReport:
+        """Rehydrate browser + datasets from a checkpoint; returns the report."""
+        from repro.crawler.checkpoint import CheckpointError
+
+        if checkpoint.shard_index != self._shard_index:
+            raise CheckpointError(
+                f"checkpoint belongs to shard {checkpoint.shard_index}, "
+                f"campaign is shard {self._shard_index}"
+            )
+        if checkpoint.targets != total:
+            raise CheckpointError(
+                f"checkpoint covers a ranking of {checkpoint.targets} targets, "
+                f"campaign has {total}"
+            )
+        browser.restore_state(checkpoint.browser_state)
+        if browser.state_digest() != checkpoint.state_digest:
+            raise CheckpointError(
+                "restored browser state does not reproduce the checkpoint digest"
+            )
+        for record in checkpoint.d_ba:
+            d_ba.add(record)
+        for record in checkpoint.d_aa:
+            d_aa.add(record)
+        if self._metrics.enabled and checkpoint.metrics is not None:
+            self._metrics.absorb(checkpoint.metrics)
+        # asdict deep-copies failure_kinds, so the restored report never
+        # aliases the checkpoint's dict.
+        return CrawlReport(**dataclasses.asdict(checkpoint.report))
+
+    def _write_checkpoint(
+        self,
+        browser: Browser,
+        d_ba: Dataset,
+        d_aa: Dataset,
+        report: CrawlReport,
+        position: int,
+        total: int,
+        complete: bool,
+    ) -> None:
+        """Atomically persist the shard's progress through ``position``."""
+        from repro.crawler.checkpoint import ShardCheckpoint
+
+        # Count the write before snapshotting so the counter itself is
+        # durable — a resumed attempt absorbs it with the snapshot.
+        self._metrics.counter("checkpoint_writes_total")
+        snapshot = browser.state_snapshot()
+        checkpoint = ShardCheckpoint(
+            shard_index=self._shard_index,
+            visits_done=position,
+            targets=total,
+            complete=complete,
+            clock_now=browser.clock.now(),
+            browser_state=snapshot,
+            state_digest=state_digest_of(snapshot),
+            report=CrawlReport(**dataclasses.asdict(report)),
+            d_ba=d_ba.records,
+            d_aa=d_aa.records,
+            metrics=self._metrics.snapshot() if self._metrics.enabled else None,
+        )
+        self._checkpoint_store.write(checkpoint)
+        now = browser.clock.now()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                EventKind.CHECKPOINT_WRITTEN,
+                at=now,
+                shard=self._shard_index,
+                visits_done=position,
+                complete=complete,
+            )
+        if self._spans.enabled:
+            # Checkpoint writes never advance the simulated clock — the
+            # browsing timeline (and thus the dataset) is identical with
+            # checkpointing on or off.
+            self._spans.record(
+                SPAN_CHECKPOINT_WRITE,
+                now,
+                now,
+                visits_done=position,
+                complete=complete,
+            )
 
     def _record(
         self,

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator
 from repro.attestation.allowlist import GatingDecision
 from repro.browser.topics.manager import TopicsApiCall
 from repro.browser.topics.types import ApiCallType
+from repro.util.fsio import atomic_write_lines
 from repro.util.timeline import Timestamp
 
 #: Visit-phase labels, matching the paper's dataset names.
@@ -168,10 +169,7 @@ class Dataset:
     # -- persistence ---------------------------------------------------------------
 
     def to_jsonl(self, path: str | Path) -> None:
-        with Path(path).open("w", encoding="utf-8") as handle:
-            for record in self._records:
-                handle.write(record.to_json())
-                handle.write("\n")
+        atomic_write_lines(path, (record.to_json() for record in self._records))
 
     @classmethod
     def from_jsonl(cls, name: str, path: str | Path) -> "Dataset":

@@ -1,0 +1,422 @@
+"""Resumable sharded campaigns: checkpoint, crash, retry, resume, merge.
+
+:class:`ResumableCrawl` wraps the sharded executor with the durability
+layer a weeks-long campaign needs:
+
+* every shard writes periodic atomic checkpoints
+  (:mod:`repro.crawler.checkpoint`) while it crawls;
+* a shard that dies is retried from its **own last checkpoint** — not
+  from scratch — after capped exponential backoff on the simulated
+  clock (retry pauses live on the orchestrator timeline, never the
+  browsing timeline, so the dataset stays byte-identical to an
+  uninterrupted run);
+* a campaign killed outright is restarted with ``resume=True`` and
+  picks every shard up from its newest durable checkpoint (finished
+  shards load without re-running a single visit);
+* with ``allow_partial=True`` a shard that exhausts its retries
+  degrades gracefully: its checkpointed prefix is merged into the
+  dataset and the missing global-rank ranges are named in a
+  :class:`~repro.crawler.checkpoint.PartialManifest` instead of the
+  whole campaign aborting.
+
+The merge itself is :class:`~repro.crawler.parallel.ShardedCrawl`'s —
+resumable execution is a scheduling concern and must not introduce a
+third merge implementation that could drift.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.crawler.campaign import CrawlCampaign, CrawlReport, CrawlResult
+from repro.crawler.checkpoint import (
+    CheckpointStore,
+    MissingRange,
+    PartialManifest,
+    RetryPolicy,
+    ShardCheckpoint,
+    campaign_fingerprint,
+    restore_datasets,
+)
+from repro.crawler.dataset import Dataset
+from repro.crawler.parallel import (
+    ShardPlan,
+    ShardedCrawl,
+    _ShardOutcome,
+    _ShardView,
+    plan_shards,
+)
+from repro.crawler.wellknown import AttestationSurvey
+from repro.obs import (
+    EventKind,
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_RECORDER,
+    NULL_TRACER,
+    SpanRecorder,
+    Tracer,
+)
+from repro.obs.spans import SPAN_SHARD, SPAN_SHARD_RETRY
+from repro.web.tranco import TrancoList
+
+if TYPE_CHECKING:
+    from repro.web.generator import SyntheticWeb
+
+import dataclasses
+
+#: A fault hook: called with (position, domain) before each visit.
+FaultHook = Callable[[int, str], None]
+
+#: Test seam: (shard_index, attempt) -> per-visit fault hook (or None).
+FaultInjector = Callable[[int, int], "FaultHook | None"]
+
+
+class ShardFailedError(RuntimeError):
+    """A shard kept dying after exhausting its retry budget."""
+
+    def __init__(self, shard_index: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard_index} failed {attempts} time(s); "
+            f"last error: {cause!r} (re-run with --resume to continue from "
+            "the last checkpoint, or --allow-partial to merge what exists)"
+        )
+        self.shard_index = shard_index
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class ShardRetryRecord:
+    """One shard restart, for the campaign's retry accounting."""
+
+    shard_index: int
+    attempt: int  # 1-based retry number
+    backoff_seconds: int
+    resumed_from: int  # visits_done of the checkpoint the retry started at
+    error: str
+
+
+@dataclass
+class ResumableOutcome:
+    """Everything a resumable campaign produces beyond the crawl itself."""
+
+    result: CrawlResult
+    retries: tuple[ShardRetryRecord, ...] = ()
+    resumed_shards: tuple[int, ...] = ()  # shards revived from disk at start
+    partial: PartialManifest | None = None
+
+    @property
+    def is_partial(self) -> bool:
+        return self.partial is not None and bool(self.partial.missing)
+
+
+@dataclass
+class _ShardRun:
+    """Worker-thread result for one shard (success or degraded)."""
+
+    plan: ShardPlan
+    outcome: _ShardOutcome | None
+    retries: list[ShardRetryRecord] = field(default_factory=list)
+    resumed_from: int | None = None  # on-disk checkpoint the first attempt used
+    failure: str | None = None
+    failure_checkpoint: ShardCheckpoint | None = None
+
+
+class ResumableCrawl:
+    """A sharded campaign with durable progress and shard-level retry."""
+
+    def __init__(
+        self,
+        world: "SyntheticWeb",
+        checkpoint_dir: str | Path,
+        shard_count: int = 4,
+        checkpoint_every: int = 500,
+        corrupt_allowlist: bool = True,
+        max_workers: int | None = None,
+        limit: int | None = None,
+        resume: bool = False,
+        allow_partial: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
+        spans: SpanRecorder = NULL_RECORDER,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        self._world = world
+        self._store = CheckpointStore(checkpoint_dir)
+        self._shard_count = shard_count
+        self._checkpoint_every = checkpoint_every
+        self._corrupt_allowlist = corrupt_allowlist
+        self._max_workers = max_workers or shard_count
+        self._limit = limit
+        self._resume = resume
+        self._allow_partial = allow_partial
+        self._policy = retry_policy or RetryPolicy()
+        self._tracer = tracer
+        self._metrics = metrics
+        self._spans = spans
+        self._fault_injector = fault_injector
+        # The merge stays ShardedCrawl's: one implementation, zero drift.
+        self._merger = ShardedCrawl(
+            world,
+            shard_count=shard_count,
+            corrupt_allowlist=corrupt_allowlist,
+            tracer=tracer,
+            metrics=metrics,
+            spans=spans,
+        )
+
+    # -- orchestration --------------------------------------------------------
+
+    def run(self) -> ResumableOutcome:
+        domains = self._world.tranco.domains
+        if self._limit is not None:
+            domains = domains[: self._limit]
+        self._store.initialize(
+            campaign_fingerprint(
+                domains, self._shard_count, self._corrupt_allowlist
+            )
+        )
+        plans = plan_shards(TrancoList(domains), self._shard_count)
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            runs = list(pool.map(self._run_shard, plans))
+
+        outcomes: list[_ShardOutcome] = []
+        missing: list[MissingRange] = []
+        for run in runs:
+            if run.outcome is not None:
+                outcomes.append(run.outcome)
+                continue
+            # Degraded shard: merge its durable prefix, name the hole.
+            checkpoint = run.failure_checkpoint
+            visits_done = checkpoint.visits_done if checkpoint is not None else 0
+            missing.append(
+                MissingRange(
+                    shard_index=run.plan.shard_index,
+                    from_rank=run.plan.rank_offset + visits_done + 1,
+                    to_rank=run.plan.rank_offset + len(run.plan.domains),
+                    error=run.failure or "unknown",
+                )
+            )
+            outcomes.append(self._degraded_outcome(run.plan, checkpoint))
+
+        result = self._merger._merge(plans, outcomes)
+        self._emit_recovery_accounting(runs, missing)
+        partial = PartialManifest(missing=missing) if missing else None
+        return ResumableOutcome(
+            result=result,
+            retries=tuple(retry for run in runs for retry in run.retries),
+            resumed_shards=tuple(
+                run.plan.shard_index
+                for run in runs
+                if run.resumed_from is not None
+            ),
+            partial=partial,
+        )
+
+    # -- per-shard execution --------------------------------------------------
+
+    def _run_shard(self, plan: ShardPlan) -> _ShardRun:
+        """Run one shard to completion, retrying from its checkpoints."""
+        failures = 0
+        retries: list[ShardRetryRecord] = []
+        initial_resume: int | None = None
+        while True:
+            checkpoint = None
+            if self._resume or failures > 0:
+                checkpoint = self._store.latest(plan.shard_index)
+            if failures == 0 and checkpoint is not None:
+                initial_resume = checkpoint.visits_done
+            attempt = failures + 1
+            try:
+                outcome = self._attempt_shard(plan, checkpoint, attempt)
+            except Exception as exc:  # noqa: BLE001 — any shard death is retryable
+                failures += 1
+                if failures > self._policy.max_retries:
+                    if self._allow_partial:
+                        return _ShardRun(
+                            plan=plan,
+                            outcome=None,
+                            retries=retries,
+                            resumed_from=initial_resume,
+                            failure=repr(exc),
+                            failure_checkpoint=self._store.latest(
+                                plan.shard_index
+                            ),
+                        )
+                    raise ShardFailedError(
+                        plan.shard_index, failures, exc
+                    ) from exc
+                # Capped exponential backoff on the *simulated* retry
+                # timeline: the pause is accounted for in spans/metrics
+                # but never advances the shard's browsing clock, so the
+                # resumed dataset stays byte-identical.
+                backoff = self._policy.backoff_seconds(failures)
+                resumed_from = self._store.latest(plan.shard_index)
+                retries.append(
+                    ShardRetryRecord(
+                        shard_index=plan.shard_index,
+                        attempt=failures,
+                        backoff_seconds=backoff,
+                        resumed_from=(
+                            resumed_from.visits_done
+                            if resumed_from is not None
+                            else 0
+                        ),
+                        error=repr(exc),
+                    )
+                )
+                continue
+            self._record_shard_recovery(outcome, retries)
+            return _ShardRun(
+                plan=plan,
+                outcome=outcome,
+                retries=retries,
+                resumed_from=initial_resume,
+            )
+
+    def _attempt_shard(
+        self,
+        plan: ShardPlan,
+        checkpoint: ShardCheckpoint | None,
+        attempt: int,
+    ) -> _ShardOutcome:
+        """One execution attempt of a shard (fresh instrumentation)."""
+        tracer = Tracer() if self._tracer.enabled else NULL_TRACER
+        metrics = MetricsRegistry() if self._metrics.enabled else NULL_METRICS
+        spans = (
+            SpanRecorder(
+                common_fields={"shard": plan.shard_index},
+                listener=self._spans.listener,
+            )
+            if self._spans.enabled
+            else NULL_RECORDER
+        )
+        tracer.emit(
+            EventKind.SHARD_STARTED,
+            at=checkpoint.clock_now if checkpoint is not None else 0,
+            shard=plan.shard_index,
+            domains=len(plan.domains),
+            rank_offset=plan.rank_offset,
+            attempt=attempt,
+            resumed_from=(
+                checkpoint.visits_done if checkpoint is not None else 0
+            ),
+        )
+        fault_hook = None
+        if self._fault_injector is not None:
+            fault_hook = self._fault_injector(plan.shard_index, attempt)
+        shard_world = _ShardView(self._world, TrancoList(plan.domains))
+        campaign = CrawlCampaign(
+            shard_world,  # type: ignore[arg-type]  # structural stand-in
+            corrupt_allowlist=self._corrupt_allowlist,
+            user_seed=plan.shard_index,
+            tracer=tracer,
+            metrics=metrics,
+            spans=spans,
+            span_root=SPAN_SHARD,
+            survey=False,
+            shard_index=plan.shard_index,
+            checkpoint_store=self._store,
+            checkpoint_every=self._checkpoint_every,
+            resume_from=checkpoint,
+            fault_hook=fault_hook,
+        )
+        return _ShardOutcome(
+            result=campaign.run(), tracer=tracer, metrics=metrics, spans=spans
+        )
+
+    # -- degraded shards ------------------------------------------------------
+
+    @staticmethod
+    def _degraded_outcome(
+        plan: ShardPlan, checkpoint: ShardCheckpoint | None
+    ) -> _ShardOutcome:
+        """A mergeable outcome for a shard that gave up: its durable prefix."""
+        if checkpoint is None:
+            d_ba, d_aa = Dataset("D_BA"), Dataset("D_AA")
+            report = CrawlReport(targets=len(plan.domains))
+        else:
+            d_ba, d_aa = restore_datasets(checkpoint)
+            report = CrawlReport(**dataclasses.asdict(checkpoint.report))
+            report.finished_at = checkpoint.clock_now
+        result = CrawlResult(
+            d_ba=d_ba,
+            d_aa=d_aa,
+            report=report,
+            allowed_domains=frozenset(),
+            survey=AttestationSurvey(()),
+        )
+        return _ShardOutcome(result=result, tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+    # -- recovery accounting --------------------------------------------------
+
+    def _record_shard_recovery(
+        self, outcome: _ShardOutcome, retries: list[ShardRetryRecord]
+    ) -> None:
+        """Stamp a recovered shard's retries into its own instrumentation.
+
+        Recorded into the successful attempt's tracer/metrics/spans (not
+        the shared campaign-level ones) so worker threads never contend;
+        the standard shard fold then merges them deterministically.
+        """
+        for retry in retries:
+            outcome.metrics.counter("shard_retries_total")
+            outcome.metrics.counter(
+                "shard_backoff_seconds_total", retry.backoff_seconds
+            )
+            outcome.tracer.emit(
+                EventKind.SHARD_RETRIED,
+                at=outcome.result.report.started_at,
+                shard=retry.shard_index,
+                attempt=retry.attempt,
+                backoff_seconds=retry.backoff_seconds,
+                resumed_from=retry.resumed_from,
+                error=retry.error,
+            )
+            if outcome.spans.enabled:
+                # The backoff interval sits on the retry timeline anchored
+                # at the checkpoint the retry restarted from.
+                start = float(outcome.result.report.started_at)
+                outcome.spans.record(
+                    SPAN_SHARD_RETRY,
+                    start,
+                    start + retry.backoff_seconds,
+                    attempt=retry.attempt,
+                    backoff_seconds=retry.backoff_seconds,
+                    resumed_from=retry.resumed_from,
+                )
+
+    def _emit_recovery_accounting(
+        self, runs: list[_ShardRun], missing: list[MissingRange]
+    ) -> None:
+        """Campaign-level accounting for shards that never recovered."""
+        instrumented = self._tracer.enabled or self._metrics.enabled
+        if not instrumented:
+            return
+        for run in runs:
+            if run.outcome is not None:
+                continue  # recovered shards folded their own retries
+            for retry in run.retries:
+                self._metrics.counter("shard_retries_total")
+                self._metrics.counter(
+                    "shard_backoff_seconds_total", retry.backoff_seconds
+                )
+                self._tracer.emit(
+                    EventKind.SHARD_RETRIED,
+                    at=0,
+                    shard=retry.shard_index,
+                    attempt=retry.attempt,
+                    backoff_seconds=retry.backoff_seconds,
+                    resumed_from=retry.resumed_from,
+                    error=retry.error,
+                )
+        if missing:
+            self._metrics.gauge(
+                "crawl_missing_targets",
+                sum(entry.count for entry in missing),
+            )
+            self._metrics.gauge("crawl_degraded_shards", len(missing))

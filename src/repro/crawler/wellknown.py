@@ -29,6 +29,7 @@ from repro.obs import (
     Tracer,
 )
 from repro.obs.spans import SPAN_ATTESTATION_FETCH, SPAN_ATTESTATION_SURVEY
+from repro.util.fsio import atomic_write_lines
 from repro.util.timeline import Timestamp
 
 if TYPE_CHECKING:
@@ -82,10 +83,13 @@ class AttestationSurvey:
 
     def to_jsonl(self, path: str | Path) -> None:
         """Archive the survey (one probe per line) next to the datasets."""
-        with Path(path).open("w", encoding="utf-8") as handle:
-            for domain in sorted(self._by_domain):
-                handle.write(json.dumps(asdict(self._by_domain[domain])))
-                handle.write("\n")
+        atomic_write_lines(
+            path,
+            (
+                json.dumps(asdict(self._by_domain[domain]))
+                for domain in sorted(self._by_domain)
+            ),
+        )
 
     @classmethod
     def from_jsonl(cls, path: str | Path) -> "AttestationSurvey":

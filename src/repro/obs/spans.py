@@ -39,6 +39,9 @@ SPAN_SCRIPT_EXEC = "script-exec"
 SPAN_TOPICS_CALL = "topics-call"
 SPAN_ATTESTATION_SURVEY = "attestation-survey"
 SPAN_ATTESTATION_FETCH = "attestation-fetch"
+SPAN_CHECKPOINT_WRITE = "checkpoint-write"
+SPAN_CHECKPOINT_RESTORE = "checkpoint-restore"
+SPAN_SHARD_RETRY = "shard-retry"
 
 
 @dataclass(frozen=True, slots=True)

@@ -38,6 +38,9 @@ class EventKind(str, Enum):
     ATTESTATION_FETCH = "attestation-fetch"
     SHARD_STARTED = "shard-started"
     SHARD_MERGED = "shard-merged"
+    CHECKPOINT_WRITTEN = "checkpoint-written"
+    CHECKPOINT_RESTORED = "checkpoint-restored"
+    SHARD_RETRIED = "shard-retried"
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,45 @@
+"""Crash-safe filesystem primitives.
+
+Checkpoints and archives must never be observable half-written: a crash
+mid-write would otherwise leave a file that parses as a truncated (but
+plausible) artefact.  Every writer here follows the classic
+write-to-temp-then-rename protocol — the temp file lives in the target's
+own directory so :func:`os.replace` stays an atomic same-filesystem
+rename, and readers only ever see the old content or the new content,
+never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Iterable
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path.
+
+    The content is flushed and fsynced before the rename, so a crash
+    after :func:`atomic_write_text` returns cannot lose the write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Temp names carry pid AND thread id: shard workers in one process
+    # may atomically replace the same target (e.g. a shared manifest),
+    # and a shared temp name would let one thread rename away a file
+    # another thread is still fsyncing.
+    temp = path.parent / (
+        f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
+    )
+    with temp.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    return path
+
+
+def atomic_write_lines(path: str | Path, lines: Iterable[str]) -> Path:
+    """Atomically replace ``path`` with one line per item (JSONL writers)."""
+    return atomic_write_text(path, "".join(f"{line}\n" for line in lines))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.adserver.experiment import TargetingStudy, render_targeting
-from repro.adserver.inventory import AdCampaign, Inventory
+from repro.adserver.inventory import Inventory
 from repro.adserver.server import AdServer
 from repro.browser.topics.types import Topic
 from repro.taxonomy.tree import load_default_taxonomy

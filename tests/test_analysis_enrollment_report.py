@@ -3,11 +3,7 @@
 import datetime
 
 from repro.analysis import report as report_module
-from repro.analysis.enrollment import (
-    EnrollmentTimeline,
-    enrollment_timeline,
-    migration_adoption,
-)
+from repro.analysis.enrollment import enrollment_timeline, migration_adoption
 from repro.crawler.wellknown import AttestationProbe, AttestationSurvey
 
 

@@ -3,13 +3,12 @@
 import pytest
 
 from repro.analysis.abtest import figure3
-from repro.analysis.cmp_analysis import average_questionable_rate, figure7
+from repro.analysis.cmp_analysis import average_questionable_rate
 from repro.analysis.pervasiveness import (
-    figure2,
     legitimate_callers,
     share_of_sites_with_call,
 )
-from repro.analysis.questionable import figure5, figure6
+from repro.analysis.questionable import figure6
 from repro.web.tlds import Region
 
 

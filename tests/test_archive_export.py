@@ -41,6 +41,29 @@ class TestArchive:
         with pytest.raises(FileNotFoundError):
             load_crawl(tmp_path)
 
+    def test_full_result_equality_after_round_trip(self, crawl, loaded):
+        # The loaded archive is the same CrawlResult, not merely
+        # field-by-field similar: every survey probe included.
+        assert loaded.survey._by_domain == crawl.survey._by_domain
+        reloaded_jsonl = "\n".join(r.to_json() for r in loaded.d_ba.records)
+        original_jsonl = "\n".join(r.to_json() for r in crawl.d_ba.records)
+        assert reloaded_jsonl == original_jsonl
+
+    def test_save_is_atomic_and_canonical(self, crawl, tmp_path):
+        first = save_crawl(crawl, tmp_path / "one")
+        second = save_crawl(crawl, tmp_path / "two")
+        # No write-to-temp artefacts survive a successful save.
+        assert [p for p in first.rglob(".*tmp*")] == []
+        # Saving the same campaign twice produces byte-identical files.
+        for name in sorted(p.name for p in first.iterdir()):
+            assert (first / name).read_bytes() == (second / name).read_bytes()
+
+    def test_resaved_loaded_archive_is_byte_identical(self, crawl, tmp_path):
+        original = save_crawl(crawl, tmp_path / "original")
+        resaved = save_crawl(load_crawl(original), tmp_path / "resaved")
+        for name in sorted(p.name for p in original.iterdir()):
+            assert (original / name).read_bytes() == (resaved / name).read_bytes()
+
 
 class TestExport:
     @pytest.fixture(scope="class")

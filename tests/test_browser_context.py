@@ -1,6 +1,6 @@
 """Unit tests for origins and browsing contexts — the §4 mechanism."""
 
-from repro.browser.context import BrowsingContext, root_context_for
+from repro.browser.context import root_context_for
 from repro.browser.origin import Origin
 from repro.util.urls import https, parse_url
 

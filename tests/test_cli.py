@@ -137,6 +137,37 @@ class TestCommands:
         assert "straggler:" in out
         assert "bounds the campaign's finished_at" in out
 
+    def test_crawl_checkpointed_resume_is_byte_identical(self, capsys, tmp_path):
+        """Acceptance pin: --resume over the same checkpoint directory
+        re-archives the campaign byte-for-byte."""
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        checkpoints = str(tmp_path / "checkpoints")
+        base = [
+            "crawl", "--sites", "1200", "--shards", "2",
+            "--checkpoint-dir", checkpoints, "--checkpoint-every", "100",
+        ]
+        assert main(base + ["--out", str(first)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--out", str(second), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed shards 0, 1" in out
+        for name in sorted(p.name for p in first.iterdir()):
+            assert (first / name).read_bytes() == (second / name).read_bytes()
+
+    def test_crawl_checkpoint_dir_created(self, capsys, tmp_path):
+        checkpoints = tmp_path / "checkpoints"
+        assert main(
+            [
+                "crawl", "--sites", "1200", "--out", str(tmp_path / "c"),
+                "--checkpoint-dir", str(checkpoints),
+                "--checkpoint-every", "150",
+            ]
+        ) == 0
+        assert (checkpoints / "MANIFEST.json").exists()
+        shard_files = list((checkpoints / "shard-00").glob("checkpoint-*.jsonl"))
+        assert shard_files
+
     def test_analyze_missing_dir(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["analyze", "--data", str(tmp_path / "nope")])

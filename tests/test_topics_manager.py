@@ -1,6 +1,5 @@
 """Unit tests for the instrumented site-data manager (gating + logging)."""
 
-import pytest
 
 from repro.attestation.allowlist import (
     AllowList,

@@ -8,7 +8,7 @@ from repro.util.urls import https
 from repro.web.banner import ConsentBanner
 from repro.web.generator import SyntheticWeb
 from repro.web.page import IFrameTag, ScriptKind
-from repro.web.site import RogueCall, RogueVariant, Website
+from repro.web.site import RogueVariant, Website
 from repro.web.tlds import Region
 
 
