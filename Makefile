@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint bench bench-small bench-smoke bench-obs bench-spans ci study experiments examples clean
+.PHONY: install test lint bench bench-small bench-smoke bench-obs bench-spans bench-parallel ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -33,6 +33,11 @@ bench-obs:
 # Span-recording overhead: NULL_RECORDER baseline vs a live SpanRecorder.
 bench-spans:
 	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/bench_crawl_throughput.py -k spans --benchmark-only
+
+# Execution-backend matrix: serial vs thread vs process at 1/2/4/8
+# workers, with per-cell speedup over the sequential protocol.
+bench-parallel:
+	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/bench_parallel_crawl.py --benchmark-only
 
 # The reduced-scale benchmark job CI runs on every push.
 bench-smoke:

@@ -77,6 +77,10 @@ class AllowListDatabase:
     _payload: str | None = None
     _parsed: AllowList | None = field(default=None, repr=False)
     _corrupt: bool = False
+    #: caller_host -> gating decision, invalidated whenever the database
+    #: state changes (update/corrupt/remove) — a stale entry here would
+    #: misclassify calls as Legitimate/Anomalous.
+    _decisions: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def from_allowlist(cls, allowlist: AllowList) -> "AllowListDatabase":
@@ -87,6 +91,7 @@ class AllowListDatabase:
     def update(self, payload: str) -> None:
         """Install a fresh component payload, re-parsing it."""
         self._payload = payload
+        self._decisions.clear()
         try:
             self._parsed = parse_allowlist(payload)
             self._corrupt = False
@@ -98,6 +103,7 @@ class AllowListDatabase:
         """Flip bytes in the stored payload, as the paper did on purpose."""
         if self._payload is None:
             self._corrupt = True
+            self._decisions.clear()
             return
         damaged = self._payload.replace(_MAGIC, "XXXX", 1) + "garbage\x00"
         self.update(damaged)
@@ -107,6 +113,7 @@ class AllowListDatabase:
         self._payload = None
         self._parsed = None
         self._corrupt = True
+        self._decisions.clear()
 
     @property
     def is_corrupt(self) -> bool:
@@ -126,13 +133,25 @@ class AllowListDatabase:
         the implementation error described in paper §2.3 ("the current
         implementation permits any Topics API calls as default case when
         the internal database is corrupted or missing").
+
+        Decisions are cached per caller host (the hot path re-gates the
+        same few hundred callers tens of thousands of times per crawl);
+        ``update``/``corrupt``/``remove`` invalidate the cache since the
+        decision depends on the database state at call time.
         """
+        decision = self._decisions.get(caller_host)
+        if decision is not None:
+            return decision
         if self.is_corrupt:
-            return GatingDecision.ALLOWED_DATABASE_CORRUPT
-        assert self._parsed is not None
-        if caller_host in self._parsed:
-            return GatingDecision.ALLOWED_ENROLLED
-        return GatingDecision.BLOCKED_NOT_ENROLLED
+            decision = GatingDecision.ALLOWED_DATABASE_CORRUPT
+        elif caller_host in self._parsed:
+            decision = GatingDecision.ALLOWED_ENROLLED
+        else:
+            decision = GatingDecision.BLOCKED_NOT_ENROLLED
+        if len(self._decisions) >= 65_536:
+            self._decisions.clear()
+        self._decisions[caller_host] = decision
+        return decision
 
 
 class AllowListCorruptError(ValueError):

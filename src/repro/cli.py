@@ -24,6 +24,7 @@ from repro.analysis.export import export_study
 from repro.analysis.questionable import figure5
 from repro.crawler.archive import load_crawl, save_crawl
 from repro.crawler.campaign import CrawlCampaign
+from repro.crawler.executor import BACKEND_ENV_VAR, BACKEND_NAMES
 from repro.crawler.parallel import ShardedCrawl
 from repro.crawler.wellknown import probe_domain
 from repro.experiments.config import ExperimentConfig
@@ -129,6 +130,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             shard_count=max(args.shards, 1),
             checkpoint_every=args.checkpoint_every,
             corrupt_allowlist=not args.healthy_allowlist,
+            max_workers=args.max_workers,
+            backend=args.backend,
             limit=args.limit,
             resume=args.resume,
             allow_partial=args.allow_partial,
@@ -149,6 +152,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             world,
             shard_count=args.shards,
             corrupt_allowlist=not args.healthy_allowlist,
+            max_workers=args.max_workers,
+            backend=args.backend,
             tracer=tracer,
             metrics=metrics,
             spans=spans,
@@ -332,6 +337,21 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--out", required=True)
     crawl.add_argument("--shards", type=int, default=1)
     crawl.add_argument("--limit", type=int, default=None)
+    crawl.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="shard execution backend: serial, thread (default), or "
+        "process for multi-core parallelism; also settable via "
+        f"{BACKEND_ENV_VAR}",
+    )
+    crawl.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker threads/processes for sharded crawls "
+        "(default: one per shard)",
+    )
     crawl.add_argument(
         "--healthy-allowlist",
         action="store_true",

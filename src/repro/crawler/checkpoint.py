@@ -40,9 +40,15 @@ import dataclasses
 import json
 import re
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
+
+try:  # POSIX-only; manifest locking degrades gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.browser.browser import state_digest_of
 from repro.crawler.campaign import CrawlReport
@@ -202,7 +208,25 @@ class CheckpointStore:
         # must be serialised or concurrent writers lose each other's
         # "latest" entries.  Checkpoint files themselves never collide
         # (one directory per shard), so only the manifest takes the lock.
+        # Worker threads serialise on the threading lock; under the
+        # process execution backend each worker holds its own store on
+        # the shared directory, so an advisory file lock serialises the
+        # manifest across processes too.
         self._manifest_lock = threading.Lock()
+
+    @contextmanager
+    def _manifest_guard(self) -> Iterator[None]:
+        with self._manifest_lock:
+            if fcntl is None:
+                yield
+                return
+            self._directory.mkdir(parents=True, exist_ok=True)
+            with (self._directory / ".manifest.lock").open("a") as handle:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
 
     @property
     def directory(self) -> Path:
@@ -226,10 +250,11 @@ class CheckpointStore:
         match it exactly, otherwise resuming would splice checkpoints
         from a different campaign into this one.
         """
-        manifest = self.manifest()
-        if manifest is None:
-            self._write_manifest({"fingerprint": fingerprint, "shards": {}})
-            return
+        with self._manifest_guard():
+            manifest = self.manifest()
+            if manifest is None:
+                self._write_manifest({"fingerprint": fingerprint, "shards": {}})
+                return
         if manifest.get("fingerprint") != fingerprint:
             raise CheckpointError(
                 f"{self._directory}: checkpoint directory belongs to a "
@@ -259,7 +284,7 @@ class CheckpointStore:
             f"checkpoint-{checkpoint.visits_done:08d}.jsonl"
         )
         atomic_write_lines(path, checkpoint.to_lines())
-        with self._manifest_lock:
+        with self._manifest_guard():
             manifest = self.manifest() or {"fingerprint": None, "shards": {}}
             manifest["shards"][str(checkpoint.shard_index)] = {
                 "latest": f"{path.parent.name}/{path.name}",

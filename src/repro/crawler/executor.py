@@ -1,0 +1,831 @@
+"""Pluggable crawl execution backends: serial, thread, process.
+
+The campaign's visit simulation is pure-Python and CPU-bound, so a
+``ThreadPoolExecutor`` buys concurrency bookkeeping but no parallelism —
+the GIL serialises the actual work.  This module makes the execution
+strategy a first-class, swappable component:
+
+* ``serial``  — run shards one after another in the calling thread (the
+  reference executor: zero scheduling noise, easiest to debug);
+* ``thread``  — the historical default: one worker thread per shard
+  (cheap to start, shares the in-memory world, GIL-bound);
+* ``process`` — one worker **process** per shard via
+  ``ProcessPoolExecutor`` on the spawn context: true multi-core
+  parallelism for the CPU-bound visit loop.
+
+Because worker processes share nothing, the process backend needs every
+shard input to be picklable and every shard output to travel back as
+plain data:
+
+* a :class:`ShardTask` carries the shard's :class:`ShardPlan` (rank
+  slice), the campaign knobs, and a :class:`WorldSpec` — the
+  :class:`~repro.web.config.WorldConfig` plus a fingerprint of the
+  ranking.  The worker **reconstructs the world from the deterministic
+  generator** and verifies the fingerprint, so a shard can never
+  silently crawl a different world than its parent planned;
+* a :class:`ShardResult` carries the visit records, report counters,
+  trace events, metrics snapshot and span tree back to the parent,
+  which rehydrates them into the same in-memory shapes the thread
+  backend produces — one merge implementation, zero drift.
+
+Reconstructed worlds are cached per worker process (keyed by
+fingerprint) and worker pools are reused across runs, so repeated
+campaigns over the same world pay the generator cost once per worker.
+
+The backend is chosen per run: explicitly (``backend=`` /
+``--backend``), or via the ``REPRO_CRAWL_BACKEND`` environment variable,
+defaulting to ``thread``.  All three backends produce **byte-identical**
+datasets, reports and merged traces — shards are deterministic and
+order-independent, and the tests pin this across backends, including
+resumed-after-crash process runs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+from repro.crawler.campaign import CrawlCampaign, CrawlReport, CrawlResult
+from repro.crawler.checkpoint import CheckpointStore, RetryPolicy
+from repro.crawler.dataset import Dataset, VisitRecord
+from repro.crawler.wellknown import AttestationSurvey
+from repro.obs import (
+    EventKind,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    NULL_RECORDER,
+    NULL_TRACER,
+    Span,
+    SpanRecorder,
+    TraceEvent,
+    Tracer,
+)
+from repro.obs.spans import SPAN_SHARD, SPAN_SHARD_RETRY
+from repro.util.text import stable_digest
+from repro.web.tranco import TrancoList
+
+if TYPE_CHECKING:
+    from repro.web.config import WorldConfig
+    from repro.web.generator import SyntheticWeb
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV_VAR = "REPRO_CRAWL_BACKEND"
+
+#: Valid backend names, in documentation order.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: The default when neither the caller nor the environment chooses.
+DEFAULT_BACKEND = "thread"
+
+
+# -- shard planning ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's slice of the ranking (picklable by construction)."""
+
+    shard_index: int
+    domains: tuple[str, ...]
+    rank_offset: int  # rank of the first domain, minus one
+
+
+def plan_shards(tranco: TrancoList, shard_count: int) -> list[ShardPlan]:
+    """Partition the ranking into contiguous slices.
+
+    Contiguity keeps each worker's page-popularity profile realistic and
+    makes rank bookkeeping trivial.
+    """
+    if shard_count <= 0:
+        raise ValueError("shard_count must be positive")
+    domains = tranco.domains
+    base, remainder = divmod(len(domains), shard_count)
+    plans: list[ShardPlan] = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < remainder else 0)
+        plans.append(
+            ShardPlan(
+                shard_index=index,
+                domains=domains[start : start + size],
+                rank_offset=start,
+            )
+        )
+        start += size
+    return [plan for plan in plans if plan.domains]
+
+
+class _ShardView:
+    """A world view whose Tranco ranking is one shard's slice.
+
+    Everything else delegates to the real world; campaigns only consume
+    ``tranco`` plus the lookup/ecosystem surface.
+    """
+
+    def __init__(self, world: "SyntheticWeb", tranco: TrancoList) -> None:
+        self._world = world
+        self.tranco = tranco
+
+    def __getattr__(self, name: str):
+        return getattr(self._world, name)
+
+
+# -- shard outcomes ------------------------------------------------------------
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's result plus its private instrumentation."""
+
+    result: CrawlResult
+    tracer: Tracer
+    metrics: MetricsRegistry
+    spans: SpanRecorder = NULL_RECORDER
+
+
+@dataclass(frozen=True)
+class ShardRetryRecord:
+    """One shard restart, for the campaign's retry accounting."""
+
+    shard_index: int
+    attempt: int  # 1-based retry number
+    backoff_seconds: int
+    resumed_from: int  # visits_done of the checkpoint the retry started at
+    error: str
+
+
+@dataclass
+class ShardExecution:
+    """A resumable shard's full outcome: success or degraded prefix."""
+
+    plan: ShardPlan
+    outcome: ShardOutcome | None
+    retries: list[ShardRetryRecord] = field(default_factory=list)
+    resumed_from: int | None = None  # on-disk checkpoint the first attempt used
+    failure: str | None = None
+
+
+class ShardFailedError(RuntimeError):
+    """A shard kept dying after exhausting its retry budget."""
+
+    def __init__(self, shard_index: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard_index} failed {attempts} time(s); "
+            f"last error: {cause!r} (re-run with --resume to continue from "
+            "the last checkpoint, or --allow-partial to merge what exists)"
+        )
+        self.shard_index = shard_index
+        self.attempts = attempts
+        self.cause = cause
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with the formatted
+        # message as the only argument — wrong arity.  Worker processes
+        # must be able to raise this across the pool boundary.
+        return (type(self), (self.shard_index, self.attempts, self.cause))
+
+
+# -- core shard execution (shared by every backend) ----------------------------
+
+
+def execute_shard(
+    world: "SyntheticWeb",
+    plan: ShardPlan,
+    *,
+    corrupt_allowlist: bool,
+    trace: bool,
+    metrics: bool,
+    spans: bool,
+    span_listener: Callable[[Span], None] | None = None,
+) -> ShardOutcome:
+    """Run one shard of a plain (non-resumable) campaign.
+
+    Each shard records into private instrumentation so workers never
+    contend; the merge folds them deterministically.  Span recorders
+    take the campaign recorder's listener so a live progress line keeps
+    updating from every worker thread (process workers deliver their
+    spans when the shard completes instead).
+    """
+    tracer = Tracer() if trace else NULL_TRACER
+    registry = MetricsRegistry() if metrics else NULL_METRICS
+    recorder = (
+        SpanRecorder(
+            common_fields={"shard": plan.shard_index},
+            listener=span_listener,
+        )
+        if spans
+        else NULL_RECORDER
+    )
+    tracer.emit(
+        EventKind.SHARD_STARTED,
+        at=0,
+        shard=plan.shard_index,
+        domains=len(plan.domains),
+        rank_offset=plan.rank_offset,
+    )
+    # A private ranking restores the shard's global ranks via the
+    # campaign's enumerate; ranks are rebased during the merge.
+    shard_world = _ShardView(world, TrancoList(plan.domains))
+    campaign = CrawlCampaign(
+        shard_world,  # type: ignore[arg-type]  # structural stand-in
+        corrupt_allowlist=corrupt_allowlist,
+        user_seed=plan.shard_index,
+        tracer=tracer,
+        metrics=registry,
+        spans=recorder,
+        span_root=SPAN_SHARD,
+        survey=False,
+    )
+    return ShardOutcome(
+        result=campaign.run(), tracer=tracer, metrics=registry, spans=recorder
+    )
+
+
+def execute_resumable_shard(
+    world: "SyntheticWeb",
+    plan: ShardPlan,
+    *,
+    store: CheckpointStore,
+    checkpoint_every: int,
+    resume: bool,
+    corrupt_allowlist: bool,
+    policy: RetryPolicy,
+    allow_partial: bool,
+    fault_injector: Callable[[int, int], Callable[[int, str], None] | None]
+    | None = None,
+    trace: bool,
+    metrics: bool,
+    spans: bool,
+    span_listener: Callable[[Span], None] | None = None,
+) -> ShardExecution:
+    """Run one shard to completion, retrying from its checkpoints.
+
+    Raises :class:`ShardFailedError` once the retry budget is exhausted
+    unless ``allow_partial`` — then the durable prefix is reported as a
+    degraded :class:`ShardExecution` with ``outcome=None``.
+    """
+    failures = 0
+    retries: list[ShardRetryRecord] = []
+    initial_resume: int | None = None
+    while True:
+        checkpoint = None
+        if resume or failures > 0:
+            checkpoint = store.latest(plan.shard_index)
+        if failures == 0 and checkpoint is not None:
+            initial_resume = checkpoint.visits_done
+        attempt = failures + 1
+        try:
+            outcome = _attempt_resumable_shard(
+                world,
+                plan,
+                checkpoint,
+                attempt,
+                store=store,
+                checkpoint_every=checkpoint_every,
+                corrupt_allowlist=corrupt_allowlist,
+                fault_injector=fault_injector,
+                trace=trace,
+                metrics=metrics,
+                spans=spans,
+                span_listener=span_listener,
+            )
+        except Exception as exc:  # noqa: BLE001 — any shard death is retryable
+            failures += 1
+            if failures > policy.max_retries:
+                if allow_partial:
+                    return ShardExecution(
+                        plan=plan,
+                        outcome=None,
+                        retries=retries,
+                        resumed_from=initial_resume,
+                        failure=repr(exc),
+                    )
+                raise ShardFailedError(plan.shard_index, failures, exc) from exc
+            # Capped exponential backoff on the *simulated* retry
+            # timeline: the pause is accounted for in spans/metrics but
+            # never advances the shard's browsing clock, so the resumed
+            # dataset stays byte-identical.
+            backoff = policy.backoff_seconds(failures)
+            resumed_from = store.latest(plan.shard_index)
+            retries.append(
+                ShardRetryRecord(
+                    shard_index=plan.shard_index,
+                    attempt=failures,
+                    backoff_seconds=backoff,
+                    resumed_from=(
+                        resumed_from.visits_done
+                        if resumed_from is not None
+                        else 0
+                    ),
+                    error=repr(exc),
+                )
+            )
+            continue
+        _record_shard_recovery(outcome, retries)
+        return ShardExecution(
+            plan=plan,
+            outcome=outcome,
+            retries=retries,
+            resumed_from=initial_resume,
+        )
+
+
+def _attempt_resumable_shard(
+    world: "SyntheticWeb",
+    plan: ShardPlan,
+    checkpoint,
+    attempt: int,
+    *,
+    store: CheckpointStore,
+    checkpoint_every: int,
+    corrupt_allowlist: bool,
+    fault_injector,
+    trace: bool,
+    metrics: bool,
+    spans: bool,
+    span_listener: Callable[[Span], None] | None,
+) -> ShardOutcome:
+    """One execution attempt of a resumable shard (fresh instrumentation)."""
+    tracer = Tracer() if trace else NULL_TRACER
+    registry = MetricsRegistry() if metrics else NULL_METRICS
+    recorder = (
+        SpanRecorder(
+            common_fields={"shard": plan.shard_index},
+            listener=span_listener,
+        )
+        if spans
+        else NULL_RECORDER
+    )
+    tracer.emit(
+        EventKind.SHARD_STARTED,
+        at=checkpoint.clock_now if checkpoint is not None else 0,
+        shard=plan.shard_index,
+        domains=len(plan.domains),
+        rank_offset=plan.rank_offset,
+        attempt=attempt,
+        resumed_from=checkpoint.visits_done if checkpoint is not None else 0,
+    )
+    fault_hook = None
+    if fault_injector is not None:
+        fault_hook = fault_injector(plan.shard_index, attempt)
+    shard_world = _ShardView(world, TrancoList(plan.domains))
+    campaign = CrawlCampaign(
+        shard_world,  # type: ignore[arg-type]  # structural stand-in
+        corrupt_allowlist=corrupt_allowlist,
+        user_seed=plan.shard_index,
+        tracer=tracer,
+        metrics=registry,
+        spans=recorder,
+        span_root=SPAN_SHARD,
+        survey=False,
+        shard_index=plan.shard_index,
+        checkpoint_store=store,
+        checkpoint_every=checkpoint_every,
+        resume_from=checkpoint,
+        fault_hook=fault_hook,
+    )
+    return ShardOutcome(
+        result=campaign.run(), tracer=tracer, metrics=registry, spans=recorder
+    )
+
+
+def _record_shard_recovery(
+    outcome: ShardOutcome, retries: list[ShardRetryRecord]
+) -> None:
+    """Stamp a recovered shard's retries into its own instrumentation.
+
+    Recorded into the successful attempt's tracer/metrics/spans (not the
+    shared campaign-level ones) so workers never contend; the standard
+    shard fold then merges them deterministically.
+    """
+    for retry in retries:
+        outcome.metrics.counter("shard_retries_total")
+        outcome.metrics.counter(
+            "shard_backoff_seconds_total", retry.backoff_seconds
+        )
+        outcome.tracer.emit(
+            EventKind.SHARD_RETRIED,
+            at=outcome.result.report.started_at,
+            shard=retry.shard_index,
+            attempt=retry.attempt,
+            backoff_seconds=retry.backoff_seconds,
+            resumed_from=retry.resumed_from,
+            error=retry.error,
+        )
+        if outcome.spans.enabled:
+            # The backoff interval sits on the retry timeline anchored
+            # at the checkpoint the retry restarted from.
+            start = float(outcome.result.report.started_at)
+            outcome.spans.record(
+                SPAN_SHARD_RETRY,
+                start,
+                start + retry.backoff_seconds,
+                attempt=retry.attempt,
+                backoff_seconds=retry.backoff_seconds,
+                resumed_from=retry.resumed_from,
+            )
+
+
+# -- world reconstruction ------------------------------------------------------
+
+
+class WorldReconstructionError(RuntimeError):
+    """A worker-rebuilt world does not match the parent's fingerprint."""
+
+
+def world_fingerprint(world: "SyntheticWeb") -> str:
+    """Identity of a generated world for cross-process verification.
+
+    The ranking is the terminal artefact of the generator's full RNG
+    cascade, so fingerprinting the ordered domains (plus the seed and
+    scale) detects any config or generator divergence between parent
+    and worker.
+    """
+    config = world.config
+    return "{:016x}".format(
+        stable_digest(
+            "world",
+            str(config.seed),
+            str(config.site_count),
+            config.vantage.name,
+            *world.tranco.domains,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Everything a worker process needs to rebuild the parent's world."""
+
+    config: "WorldConfig"
+    fingerprint: str
+
+    @classmethod
+    def of(cls, world: "SyntheticWeb") -> "WorldSpec":
+        return cls(config=world.config, fingerprint=world_fingerprint(world))
+
+
+#: Per-worker-process world cache: (fingerprint, world).  Size one — a
+#: worker serves one campaign's shards at a time, and holding more than
+#: the active world would pin generator-sized memory per process.
+_WORKER_WORLD: tuple[str, "SyntheticWeb"] | None = None
+
+
+def _world_for(spec: WorldSpec) -> "SyntheticWeb":
+    """The worker-side world for ``spec``, rebuilt and verified on miss."""
+    global _WORKER_WORLD
+    if _WORKER_WORLD is not None and _WORKER_WORLD[0] == spec.fingerprint:
+        return _WORKER_WORLD[1]
+    from repro.web.generator import WebGenerator
+
+    world = WebGenerator(spec.config).generate()
+    rebuilt = world_fingerprint(world)
+    if rebuilt != spec.fingerprint:
+        raise WorldReconstructionError(
+            f"worker rebuilt a world with fingerprint {rebuilt}, parent "
+            f"expected {spec.fingerprint}; the parent world was not produced "
+            "by WebGenerator(config).generate() — use the thread or serial "
+            "backend for hand-modified worlds"
+        )
+    _WORKER_WORLD = (spec.fingerprint, world)
+    return world
+
+
+# -- picklable shard task / result ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A shard's complete, picklable execution order for a worker process."""
+
+    spec: WorldSpec
+    plan: ShardPlan
+    corrupt_allowlist: bool
+    trace: bool
+    metrics: bool
+    spans: bool
+    # Resumable-campaign extras; checkpoint_dir None means a plain shard.
+    checkpoint_dir: str | None = None
+    checkpoint_every: int | None = None
+    resume: bool = False
+    retry_policy: RetryPolicy | None = None
+    allow_partial: bool = False
+    fault_injector: object | None = None  # must be picklable when set
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """A shard's outcome as plain, picklable data.
+
+    ``events``/``metrics``/``spans`` are ``None`` when the corresponding
+    instrumentation was disabled for the run.  Trace events keep their
+    shard-local order (the merge's ``(at, shard, seq)`` sort only needs
+    relative order within a shard); spans keep their original ids so the
+    merge's parent remapping is unchanged.
+    """
+
+    shard_index: int
+    d_ba: tuple[VisitRecord, ...]
+    d_aa: tuple[VisitRecord, ...]
+    report: CrawlReport | None
+    allowed_domains: frozenset[str]
+    events: tuple[TraceEvent, ...] | None
+    metrics: MetricsSnapshot | None
+    spans: tuple[Span, ...] | None
+    retries: tuple[ShardRetryRecord, ...] = ()
+    resumed_from: int | None = None
+    failure: str | None = None
+
+
+def result_from_outcome(
+    shard_index: int,
+    outcome: ShardOutcome,
+    *,
+    retries: Sequence[ShardRetryRecord] = (),
+    resumed_from: int | None = None,
+) -> ShardResult:
+    """Flatten an in-memory shard outcome into its picklable transport."""
+    result = outcome.result
+    return ShardResult(
+        shard_index=shard_index,
+        d_ba=result.d_ba.records,
+        d_aa=result.d_aa.records,
+        report=result.report,
+        allowed_domains=result.allowed_domains,
+        events=tuple(outcome.tracer) if outcome.tracer.enabled else None,
+        metrics=outcome.metrics.snapshot() if outcome.metrics.enabled else None,
+        spans=tuple(outcome.spans.spans()) if outcome.spans.enabled else None,
+        retries=tuple(retries),
+        resumed_from=resumed_from,
+    )
+
+
+def outcome_from_result(
+    result: ShardResult,
+    *,
+    span_listener: Callable[[Span], None] | None = None,
+) -> ShardOutcome:
+    """Rehydrate a worker's :class:`ShardResult` into merge-ready shapes.
+
+    The reconstructed tracer/metrics/spans are indistinguishable from
+    thread-backend shard instrumentation as far as the merge is
+    concerned.  ``span_listener`` (the campaign recorder's live
+    listener) fires once per rehydrated span, so progress reporting
+    still observes every span — batched at shard completion rather than
+    live.
+    """
+    if result.report is None:
+        raise ValueError("cannot rehydrate a failed shard (report is None)")
+    tracer: Tracer = NULL_TRACER
+    if result.events is not None:
+        tracer = Tracer()
+        tracer.replay(result.events)
+    registry: MetricsRegistry = NULL_METRICS
+    if result.metrics is not None:
+        registry = MetricsRegistry()
+        registry.absorb(result.metrics)
+    recorder: SpanRecorder = NULL_RECORDER
+    if result.spans is not None:
+        recorder = SpanRecorder.from_spans(
+            result.spans, common_fields={"shard": result.shard_index}
+        )
+        if span_listener is not None:
+            for span in result.spans:
+                span_listener(span)
+    return ShardOutcome(
+        result=CrawlResult(
+            d_ba=Dataset("D_BA", result.d_ba),
+            d_aa=Dataset("D_AA", result.d_aa),
+            report=result.report,
+            allowed_domains=result.allowed_domains,
+            survey=AttestationSurvey(()),
+        ),
+        tracer=tracer,
+        metrics=registry,
+        spans=recorder,
+    )
+
+
+def run_shard_task(task: ShardTask) -> ShardResult:
+    """Worker-process entry point: rebuild the world, run the shard.
+
+    Module-level so the spawn context can pickle it by reference; the
+    per-process world cache makes repeated shards over one world pay the
+    generator exactly once per worker.
+    """
+    world = _world_for(task.spec)
+    if task.checkpoint_dir is None:
+        outcome = execute_shard(
+            world,
+            task.plan,
+            corrupt_allowlist=task.corrupt_allowlist,
+            trace=task.trace,
+            metrics=task.metrics,
+            spans=task.spans,
+        )
+        return result_from_outcome(task.plan.shard_index, outcome)
+    execution = execute_resumable_shard(
+        world,
+        task.plan,
+        store=CheckpointStore(task.checkpoint_dir),
+        checkpoint_every=task.checkpoint_every or 500,
+        resume=task.resume,
+        corrupt_allowlist=task.corrupt_allowlist,
+        policy=task.retry_policy or RetryPolicy(),
+        allow_partial=task.allow_partial,
+        fault_injector=task.fault_injector,  # type: ignore[arg-type]
+        trace=task.trace,
+        metrics=task.metrics,
+        spans=task.spans,
+    )
+    if execution.outcome is None:
+        return ShardResult(
+            shard_index=task.plan.shard_index,
+            d_ba=(),
+            d_aa=(),
+            report=None,
+            allowed_domains=frozenset(),
+            events=None,
+            metrics=None,
+            spans=None,
+            retries=tuple(execution.retries),
+            resumed_from=execution.resumed_from,
+            failure=execution.failure,
+        )
+    return result_from_outcome(
+        task.plan.shard_index,
+        execution.outcome,
+        retries=execution.retries,
+        resumed_from=execution.resumed_from,
+    )
+
+
+# -- deterministic, picklable fault injection (test seam) ----------------------
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """A picklable fault injector: kill one shard at scheduled visits.
+
+    ``points`` maps a 1-based attempt number to the visit position at
+    which that attempt dies.  Being a module-level dataclass, it crosses
+    the process-pool boundary — the seam the crash/resume tests use to
+    kill shards inside worker processes.
+    """
+
+    shard_index: int
+    points: tuple[tuple[int, int], ...]  # (attempt, position) pairs
+
+    def __call__(self, shard: int, attempt: int):
+        if shard != self.shard_index:
+            return None
+        position = dict(self.points).get(attempt)
+        if position is None:
+            return None
+        return _CrashAt(position)
+
+
+@dataclass(frozen=True)
+class _CrashAt:
+    position: int
+
+    def __call__(self, position: int, domain: str) -> None:
+        if position == self.position:
+            raise RuntimeError(f"injected crash at visit {position}")
+
+
+# -- backends ------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Strategy interface: run a function over shard inputs, in order."""
+
+    name: str = "abstract"
+
+    def map(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> list[_R]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Run shards one after another in the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """One worker thread per shard (concurrency, not parallelism)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+
+#: Live process pools, keyed by worker count.  Reused across runs so
+#: worker-side world caches survive between campaigns in one session.
+_PROCESS_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _process_pool(max_workers: int) -> ProcessPoolExecutor:
+    pool = _PROCESS_POOLS.get(max_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        _PROCESS_POOLS[max_workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_process_pools() -> None:
+    for pool in _PROCESS_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _PROCESS_POOLS.clear()
+
+
+class ProcessBackend(ExecutionBackend):
+    """One worker process per shard: true multi-core parallelism.
+
+    Requires picklable tasks and a module-level worker function; worker
+    processes are spawned (not forked), so they import the package fresh
+    and share no state with the parent beyond what the task carries.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        if not items:
+            return []
+        pool = _process_pool(self.max_workers)
+        try:
+            return list(pool.map(fn, items))
+        except BrokenProcessPool:
+            # A worker died hard (OOM, signal); the pool is unusable.
+            # Evict it so the next run starts a healthy one.
+            _PROCESS_POOLS.pop(self.max_workers, None)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """The effective backend name: explicit > environment > default."""
+    resolved = name or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    resolved = resolved.strip().lower()
+    if resolved not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown crawl backend {resolved!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    return resolved
+
+
+def create_backend(
+    backend: "str | ExecutionBackend | None", max_workers: int
+) -> ExecutionBackend:
+    """Materialise a backend from a name, an instance, or the environment."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = resolve_backend_name(backend)
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(max_workers)
+    return ThreadBackend(max_workers)
+
+
+def is_picklable(value: object) -> bool:
+    """Whether ``value`` survives the process-pool boundary."""
+    try:
+        pickle.dumps(value)
+    except Exception:  # noqa: BLE001 — pickle raises a zoo of types
+        return False
+    return True

@@ -8,6 +8,14 @@ consent ledger, clock) and its own user seed, so the merged datasets are
 identical no matter how the executor schedules the work — which the tests
 pin by comparing against the sequential campaign shard-by-shard.
 
+*How* shards execute is delegated to :mod:`repro.crawler.executor`: the
+``serial`` backend runs them inline, ``thread`` (the default) uses a
+worker-thread pool, and ``process`` runs each shard in a worker process
+for true multi-core parallelism — the worker rebuilds the world from its
+deterministic config and ships a picklable :class:`ShardResult` back.
+All backends feed the same :meth:`ShardedCrawl._merge`, so the choice is
+purely a scheduling decision with byte-identical output.
+
 The merge must reproduce what :meth:`CrawlCampaign.run` would have done
 over the whole ranking: the attestation survey is built from the shared
 :func:`repro.crawler.campaign.attestation_targets` helper (both datasets,
@@ -23,17 +31,27 @@ folds the metric snapshots together, adding per-shard skew gauges.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.crawler.campaign import (
-    CrawlCampaign,
     CrawlReport,
     CrawlResult,
     attestation_targets,
 )
 from repro.crawler.dataset import Dataset
+from repro.crawler.executor import (
+    ExecutionBackend,
+    ShardOutcome,
+    ShardPlan,
+    ShardTask,
+    WorldSpec,
+    _ShardView as _ShardView,  # noqa: PLC0414 — re-export for legacy importers
+    create_backend,
+    execute_shard,
+    outcome_from_result,
+    plan_shards,
+    run_shard_task,
+)
 from repro.crawler.wellknown import survey_attestations
 from repro.obs import (
     EventKind,
@@ -44,55 +62,46 @@ from repro.obs import (
     SpanRecorder,
     Tracer,
 )
-from repro.obs.spans import SPAN_CAMPAIGN, SPAN_SHARD
-from repro.web.tranco import TrancoList
+from repro.obs.spans import SPAN_CAMPAIGN
 
 if TYPE_CHECKING:
     from repro.web.generator import SyntheticWeb
 
+#: Backwards-compatible aliases — these classes lived here before the
+#: execution-backend split; external code imports them from this module.
+_ShardOutcome = ShardOutcome
 
-@dataclass(frozen=True)
-class ShardPlan:
-    """One worker's slice of the ranking."""
+__all__ = [
+    "ShardPlan",
+    "ShardedCrawl",
+    "plan_shards",
+    "effective_shard_count",
+]
 
-    shard_index: int
-    domains: tuple[str, ...]
-    rank_offset: int  # rank of the first domain, minus one
 
+def effective_shard_count(
+    requested: int, targets: int, tracer: Tracer = NULL_TRACER
+) -> int:
+    """Clamp a shard count to the number of crawl targets.
 
-def plan_shards(tranco: TrancoList, shard_count: int) -> list[ShardPlan]:
-    """Partition the ranking into contiguous slices.
-
-    Contiguity keeps each worker's page-popularity profile realistic and
-    makes rank bookkeeping trivial.
+    A campaign asked to split 6 domains across 16 shards used to plan 10
+    empty shards (filtered later) while still sizing its worker pool for
+    16 — pure overhead.  Clamping keeps the plan layout identical (the
+    remainder distribution gives the same slices either way) and records
+    the adjustment as a ``shard-empty`` trace event.
     """
-    if shard_count <= 0:
+    if requested <= 0:
         raise ValueError("shard_count must be positive")
-    domains = tranco.domains
-    base, remainder = divmod(len(domains), shard_count)
-    plans: list[ShardPlan] = []
-    start = 0
-    for index in range(shard_count):
-        size = base + (1 if index < remainder else 0)
-        plans.append(
-            ShardPlan(
-                shard_index=index,
-                domains=domains[start : start + size],
-                rank_offset=start,
-            )
+    effective = max(1, min(requested, targets))
+    if effective < requested:
+        tracer.emit(
+            EventKind.SHARD_EMPTY,
+            at=0,
+            requested=requested,
+            effective=effective,
+            targets=targets,
         )
-        start += size
-    return [plan for plan in plans if plan.domains]
-
-
-@dataclass
-class _ShardOutcome:
-    """One shard's result plus its private instrumentation."""
-
-    result: CrawlResult
-    tracer: Tracer
-    metrics: MetricsRegistry
-    spans: SpanRecorder = NULL_RECORDER
+    return effective
 
 
 class ShardedCrawl:
@@ -104,6 +113,7 @@ class ShardedCrawl:
         shard_count: int = 4,
         corrupt_allowlist: bool = True,
         max_workers: int | None = None,
+        backend: "str | ExecutionBackend | None" = None,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
         spans: SpanRecorder = NULL_RECORDER,
@@ -111,58 +121,62 @@ class ShardedCrawl:
         self._world = world
         self._shard_count = shard_count
         self._corrupt_allowlist = corrupt_allowlist
-        self._max_workers = max_workers or shard_count
+        self._max_workers = max_workers
+        self._backend = backend
         self._tracer = tracer
         self._metrics = metrics
         self._spans = spans
 
     def run(self) -> CrawlResult:
-        plans = plan_shards(self._world.tranco, self._shard_count)
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            outcomes = list(pool.map(self._run_shard, plans))
+        shard_count = effective_shard_count(
+            self._shard_count, len(self._world.tranco.domains), self._tracer
+        )
+        plans = plan_shards(self._world.tranco, shard_count)
+        workers = min(self._max_workers or shard_count, max(len(plans), 1))
+        backend = create_backend(self._backend, workers)
+        outcomes = self._execute(backend, plans)
         return self._merge(plans, outcomes)
 
-    def _run_shard(self, plan: ShardPlan) -> _ShardOutcome:
-        # Each shard records into private instrumentation so worker
-        # threads never contend; the merge folds them deterministically.
-        # Span recorders inherit the campaign recorder's listener so a
-        # live progress line keeps updating from every worker thread.
-        tracer = Tracer() if self._tracer.enabled else NULL_TRACER
-        metrics = MetricsRegistry() if self._metrics.enabled else NULL_METRICS
-        spans = (
-            SpanRecorder(
-                common_fields={"shard": plan.shard_index},
-                listener=self._spans.listener,
+    def _execute(
+        self, backend: ExecutionBackend, plans: list[ShardPlan]
+    ) -> list[ShardOutcome]:
+        if backend.name != "process":
+            return backend.map(self._run_shard, plans)
+        # Process workers share nothing: each receives a picklable task
+        # (world config + fingerprint + its plan), rebuilds the world,
+        # and ships a plain-data result back for rehydration.
+        spec = WorldSpec.of(self._world)
+        tasks = [
+            ShardTask(
+                spec=spec,
+                plan=plan,
+                corrupt_allowlist=self._corrupt_allowlist,
+                trace=self._tracer.enabled,
+                metrics=self._metrics.enabled,
+                spans=self._spans.enabled,
             )
-            if self._spans.enabled
-            else NULL_RECORDER
-        )
-        tracer.emit(
-            EventKind.SHARD_STARTED,
-            at=0,
-            shard=plan.shard_index,
-            domains=len(plan.domains),
-            rank_offset=plan.rank_offset,
-        )
-        # A private ranking restores the shard's global ranks via the
-        # campaign's enumerate; we rebase rank numbers during the merge.
-        shard_world = _ShardView(self._world, TrancoList(plan.domains))
-        campaign = CrawlCampaign(
-            shard_world,  # type: ignore[arg-type]  # structural stand-in
+            for plan in plans
+        ]
+        results = backend.map(run_shard_task, tasks)
+        listener = self._spans.listener if self._spans.enabled else None
+        return [
+            outcome_from_result(result, span_listener=listener)
+            for result in results
+        ]
+
+    def _run_shard(self, plan: ShardPlan) -> ShardOutcome:
+        return execute_shard(
+            self._world,
+            plan,
             corrupt_allowlist=self._corrupt_allowlist,
-            user_seed=plan.shard_index,
-            tracer=tracer,
-            metrics=metrics,
-            spans=spans,
-            span_root=SPAN_SHARD,
-            survey=False,
-        )
-        return _ShardOutcome(
-            result=campaign.run(), tracer=tracer, metrics=metrics, spans=spans
+            trace=self._tracer.enabled,
+            metrics=self._metrics.enabled,
+            spans=self._spans.enabled,
+            span_listener=self._spans.listener if self._spans.enabled else None,
         )
 
     def _merge(
-        self, plans: list[ShardPlan], outcomes: list[_ShardOutcome]
+        self, plans: list[ShardPlan], outcomes: list[ShardOutcome]
     ) -> CrawlResult:
         merged_ba = Dataset("D_BA")
         merged_aa = Dataset("D_AA")
@@ -230,7 +244,7 @@ class ShardedCrawl:
         )
 
     def _fold_instrumentation(
-        self, plans: list[ShardPlan], outcomes: list[_ShardOutcome]
+        self, plans: list[ShardPlan], outcomes: list[ShardOutcome]
     ) -> None:
         """Fold shard tracers and metrics into the campaign-level pair.
 
@@ -274,7 +288,7 @@ class ShardedCrawl:
     def _fold_spans(
         self,
         plans: list[ShardPlan],
-        outcomes: list[_ShardOutcome],
+        outcomes: list[ShardOutcome],
         report: CrawlReport,
     ) -> int:
         """Graft shard span trees under one campaign-level root.
@@ -308,18 +322,3 @@ def _rebase_rank(record, offset: int):
     from dataclasses import replace
 
     return replace(record, rank=record.rank + offset)
-
-
-class _ShardView:
-    """A world view whose Tranco ranking is one shard's slice.
-
-    Everything else delegates to the real world; campaigns only consume
-    ``tranco`` plus the lookup/ecosystem surface.
-    """
-
-    def __init__(self, world: "SyntheticWeb", tranco: TrancoList) -> None:
-        self._world = world
-        self.tranco = tranco
-
-    def __getattr__(self, name: str):
-        return getattr(self._world, name)

@@ -19,6 +19,16 @@ layer a weeks-long campaign needs:
   :class:`~repro.crawler.checkpoint.PartialManifest` instead of the
   whole campaign aborting.
 
+Execution is backend-pluggable (:mod:`repro.crawler.executor`): shards
+run serially, on worker threads, or in worker processes.  Under the
+``process`` backend each worker opens its own :class:`CheckpointStore`
+on the shared directory — checkpoint files are per-shard so they never
+collide, and the manifest update takes a cross-process file lock.  A
+non-picklable ``fault_injector`` (e.g. a test closure) silently
+downgrades ``process`` to ``thread`` rather than failing the campaign —
+use :class:`~repro.crawler.executor.CrashSchedule` for process-backend
+fault injection.
+
 The merge itself is :class:`~repro.crawler.parallel.ShardedCrawl`'s —
 resumable execution is a scheduling concern and must not introduce a
 third merge implementation that could drift.
@@ -26,12 +36,11 @@ third merge implementation that could drift.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
-from repro.crawler.campaign import CrawlCampaign, CrawlReport, CrawlResult
+from repro.crawler.campaign import CrawlReport, CrawlResult
 from repro.crawler.checkpoint import (
     CheckpointStore,
     MissingRange,
@@ -42,13 +51,23 @@ from repro.crawler.checkpoint import (
     restore_datasets,
 )
 from repro.crawler.dataset import Dataset
-from repro.crawler.parallel import (
+from repro.crawler.executor import (
+    ExecutionBackend,
+    ShardExecution,
+    ShardFailedError as ShardFailedError,  # noqa: PLC0414 — re-export
+    ShardOutcome,
     ShardPlan,
-    ShardedCrawl,
-    _ShardOutcome,
-    _ShardView,
+    ShardRetryRecord as ShardRetryRecord,  # noqa: PLC0414 — re-export
+    ShardTask,
+    WorldSpec,
+    create_backend,
+    execute_resumable_shard,
+    is_picklable,
+    outcome_from_result,
     plan_shards,
+    run_shard_task,
 )
+from repro.crawler.parallel import ShardedCrawl, effective_shard_count
 from repro.crawler.wellknown import AttestationSurvey
 from repro.obs import (
     EventKind,
@@ -59,7 +78,6 @@ from repro.obs import (
     SpanRecorder,
     Tracer,
 )
-from repro.obs.spans import SPAN_SHARD, SPAN_SHARD_RETRY
 from repro.web.tranco import TrancoList
 
 if TYPE_CHECKING:
@@ -73,30 +91,9 @@ FaultHook = Callable[[int, str], None]
 #: Test seam: (shard_index, attempt) -> per-visit fault hook (or None).
 FaultInjector = Callable[[int, int], "FaultHook | None"]
 
-
-class ShardFailedError(RuntimeError):
-    """A shard kept dying after exhausting its retry budget."""
-
-    def __init__(self, shard_index: int, attempts: int, cause: BaseException) -> None:
-        super().__init__(
-            f"shard {shard_index} failed {attempts} time(s); "
-            f"last error: {cause!r} (re-run with --resume to continue from "
-            "the last checkpoint, or --allow-partial to merge what exists)"
-        )
-        self.shard_index = shard_index
-        self.attempts = attempts
-        self.cause = cause
-
-
-@dataclass(frozen=True)
-class ShardRetryRecord:
-    """One shard restart, for the campaign's retry accounting."""
-
-    shard_index: int
-    attempt: int  # 1-based retry number
-    backoff_seconds: int
-    resumed_from: int  # visits_done of the checkpoint the retry started at
-    error: str
+#: Backwards-compatible alias — the class lived in ``parallel`` before
+#: the execution-backend split.
+_ShardOutcome = ShardOutcome
 
 
 @dataclass
@@ -115,10 +112,10 @@ class ResumableOutcome:
 
 @dataclass
 class _ShardRun:
-    """Worker-thread result for one shard (success or degraded)."""
+    """Per-shard result for one shard (success or degraded)."""
 
     plan: ShardPlan
-    outcome: _ShardOutcome | None
+    outcome: ShardOutcome | None
     retries: list[ShardRetryRecord] = field(default_factory=list)
     resumed_from: int | None = None  # on-disk checkpoint the first attempt used
     failure: str | None = None
@@ -136,6 +133,7 @@ class ResumableCrawl:
         checkpoint_every: int = 500,
         corrupt_allowlist: bool = True,
         max_workers: int | None = None,
+        backend: "str | ExecutionBackend | None" = None,
         limit: int | None = None,
         resume: bool = False,
         allow_partial: bool = False,
@@ -150,7 +148,8 @@ class ResumableCrawl:
         self._shard_count = shard_count
         self._checkpoint_every = checkpoint_every
         self._corrupt_allowlist = corrupt_allowlist
-        self._max_workers = max_workers or shard_count
+        self._max_workers = max_workers
+        self._backend = backend
         self._limit = limit
         self._resume = resume
         self._allow_partial = allow_partial
@@ -175,16 +174,19 @@ class ResumableCrawl:
         domains = self._world.tranco.domains
         if self._limit is not None:
             domains = domains[: self._limit]
+        shard_count = effective_shard_count(
+            self._shard_count, len(domains), self._tracer
+        )
         self._store.initialize(
             campaign_fingerprint(
-                domains, self._shard_count, self._corrupt_allowlist
+                domains, shard_count, self._corrupt_allowlist
             )
         )
-        plans = plan_shards(TrancoList(domains), self._shard_count)
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            runs = list(pool.map(self._run_shard, plans))
+        plans = plan_shards(TrancoList(domains), shard_count)
+        backend = self._resolve_backend(len(plans))
+        runs = self._execute(backend, plans)
 
-        outcomes: list[_ShardOutcome] = []
+        outcomes: list[ShardOutcome] = []
         missing: list[MissingRange] = []
         for run in runs:
             if run.outcome is not None:
@@ -217,116 +219,113 @@ class ResumableCrawl:
             partial=partial,
         )
 
+    # -- backend selection ----------------------------------------------------
+
+    def _resolve_backend(self, plan_count: int) -> ExecutionBackend:
+        workers = min(
+            self._max_workers or self._shard_count, max(plan_count, 1)
+        )
+        backend = create_backend(self._backend, workers)
+        if (
+            backend.name == "process"
+            and self._fault_injector is not None
+            and not is_picklable(self._fault_injector)
+        ):
+            # Closures cannot cross the process-pool boundary; running
+            # the campaign beats crashing it.  Picklable injectors
+            # (CrashSchedule) keep the process backend.
+            return create_backend("thread", workers)
+        return backend
+
     # -- per-shard execution --------------------------------------------------
 
-    def _run_shard(self, plan: ShardPlan) -> _ShardRun:
-        """Run one shard to completion, retrying from its checkpoints."""
-        failures = 0
-        retries: list[ShardRetryRecord] = []
-        initial_resume: int | None = None
-        while True:
-            checkpoint = None
-            if self._resume or failures > 0:
-                checkpoint = self._store.latest(plan.shard_index)
-            if failures == 0 and checkpoint is not None:
-                initial_resume = checkpoint.visits_done
-            attempt = failures + 1
-            try:
-                outcome = self._attempt_shard(plan, checkpoint, attempt)
-            except Exception as exc:  # noqa: BLE001 — any shard death is retryable
-                failures += 1
-                if failures > self._policy.max_retries:
-                    if self._allow_partial:
-                        return _ShardRun(
-                            plan=plan,
-                            outcome=None,
-                            retries=retries,
-                            resumed_from=initial_resume,
-                            failure=repr(exc),
-                            failure_checkpoint=self._store.latest(
-                                plan.shard_index
-                            ),
-                        )
-                    raise ShardFailedError(
-                        plan.shard_index, failures, exc
-                    ) from exc
-                # Capped exponential backoff on the *simulated* retry
-                # timeline: the pause is accounted for in spans/metrics
-                # but never advances the shard's browsing clock, so the
-                # resumed dataset stays byte-identical.
-                backoff = self._policy.backoff_seconds(failures)
-                resumed_from = self._store.latest(plan.shard_index)
-                retries.append(
-                    ShardRetryRecord(
-                        shard_index=plan.shard_index,
-                        attempt=failures,
-                        backoff_seconds=backoff,
-                        resumed_from=(
-                            resumed_from.visits_done
-                            if resumed_from is not None
-                            else 0
-                        ),
-                        error=repr(exc),
+    def _execute(
+        self, backend: ExecutionBackend, plans: list[ShardPlan]
+    ) -> list[_ShardRun]:
+        if backend.name != "process":
+            return backend.map(self._run_shard, plans)
+        spec = WorldSpec.of(self._world)
+        tasks = [
+            ShardTask(
+                spec=spec,
+                plan=plan,
+                corrupt_allowlist=self._corrupt_allowlist,
+                trace=self._tracer.enabled,
+                metrics=self._metrics.enabled,
+                spans=self._spans.enabled,
+                checkpoint_dir=str(self._store.directory),
+                checkpoint_every=self._checkpoint_every,
+                resume=self._resume,
+                retry_policy=self._policy,
+                allow_partial=self._allow_partial,
+                fault_injector=self._fault_injector,
+            )
+            for plan in plans
+        ]
+        results = backend.map(run_shard_task, tasks)
+        listener = self._spans.listener if self._spans.enabled else None
+        runs: list[_ShardRun] = []
+        for plan, result in zip(plans, results):
+            if result.report is None:
+                runs.append(
+                    _ShardRun(
+                        plan=plan,
+                        outcome=None,
+                        retries=list(result.retries),
+                        resumed_from=result.resumed_from,
+                        failure=result.failure,
+                        # The worker's store wrote the checkpoints; the
+                        # parent's store reads the same directory.
+                        failure_checkpoint=self._store.latest(plan.shard_index),
                     )
                 )
                 continue
-            self._record_shard_recovery(outcome, retries)
-            return _ShardRun(
-                plan=plan,
-                outcome=outcome,
-                retries=retries,
-                resumed_from=initial_resume,
+            runs.append(
+                _ShardRun(
+                    plan=plan,
+                    outcome=outcome_from_result(result, span_listener=listener),
+                    retries=list(result.retries),
+                    resumed_from=result.resumed_from,
+                )
             )
+        return runs
 
-    def _attempt_shard(
-        self,
-        plan: ShardPlan,
-        checkpoint: ShardCheckpoint | None,
-        attempt: int,
-    ) -> _ShardOutcome:
-        """One execution attempt of a shard (fresh instrumentation)."""
-        tracer = Tracer() if self._tracer.enabled else NULL_TRACER
-        metrics = MetricsRegistry() if self._metrics.enabled else NULL_METRICS
-        spans = (
-            SpanRecorder(
-                common_fields={"shard": plan.shard_index},
-                listener=self._spans.listener,
-            )
-            if self._spans.enabled
-            else NULL_RECORDER
-        )
-        tracer.emit(
-            EventKind.SHARD_STARTED,
-            at=checkpoint.clock_now if checkpoint is not None else 0,
-            shard=plan.shard_index,
-            domains=len(plan.domains),
-            rank_offset=plan.rank_offset,
-            attempt=attempt,
-            resumed_from=(
-                checkpoint.visits_done if checkpoint is not None else 0
-            ),
-        )
-        fault_hook = None
-        if self._fault_injector is not None:
-            fault_hook = self._fault_injector(plan.shard_index, attempt)
-        shard_world = _ShardView(self._world, TrancoList(plan.domains))
-        campaign = CrawlCampaign(
-            shard_world,  # type: ignore[arg-type]  # structural stand-in
-            corrupt_allowlist=self._corrupt_allowlist,
-            user_seed=plan.shard_index,
-            tracer=tracer,
-            metrics=metrics,
-            spans=spans,
-            span_root=SPAN_SHARD,
-            survey=False,
-            shard_index=plan.shard_index,
-            checkpoint_store=self._store,
+    def _run_shard(self, plan: ShardPlan) -> _ShardRun:
+        """Run one shard in-process (serial/thread backends)."""
+        execution = execute_resumable_shard(
+            self._world,
+            plan,
+            store=self._store,
             checkpoint_every=self._checkpoint_every,
-            resume_from=checkpoint,
-            fault_hook=fault_hook,
+            resume=self._resume,
+            corrupt_allowlist=self._corrupt_allowlist,
+            policy=self._policy,
+            allow_partial=self._allow_partial,
+            fault_injector=self._fault_injector,
+            trace=self._tracer.enabled,
+            metrics=self._metrics.enabled,
+            spans=self._spans.enabled,
+            span_listener=self._spans.listener if self._spans.enabled else None,
         )
-        return _ShardOutcome(
-            result=campaign.run(), tracer=tracer, metrics=metrics, spans=spans
+        return self._to_run(execution)
+
+    def _to_run(self, execution: ShardExecution) -> _ShardRun:
+        if execution.outcome is None:
+            return _ShardRun(
+                plan=execution.plan,
+                outcome=None,
+                retries=execution.retries,
+                resumed_from=execution.resumed_from,
+                failure=execution.failure,
+                failure_checkpoint=self._store.latest(
+                    execution.plan.shard_index
+                ),
+            )
+        return _ShardRun(
+            plan=execution.plan,
+            outcome=execution.outcome,
+            retries=execution.retries,
+            resumed_from=execution.resumed_from,
         )
 
     # -- degraded shards ------------------------------------------------------
@@ -334,7 +333,7 @@ class ResumableCrawl:
     @staticmethod
     def _degraded_outcome(
         plan: ShardPlan, checkpoint: ShardCheckpoint | None
-    ) -> _ShardOutcome:
+    ) -> ShardOutcome:
         """A mergeable outcome for a shard that gave up: its durable prefix."""
         if checkpoint is None:
             d_ba, d_aa = Dataset("D_BA"), Dataset("D_AA")
@@ -350,45 +349,9 @@ class ResumableCrawl:
             allowed_domains=frozenset(),
             survey=AttestationSurvey(()),
         )
-        return _ShardOutcome(result=result, tracer=NULL_TRACER, metrics=NULL_METRICS)
+        return ShardOutcome(result=result, tracer=NULL_TRACER, metrics=NULL_METRICS)
 
     # -- recovery accounting --------------------------------------------------
-
-    def _record_shard_recovery(
-        self, outcome: _ShardOutcome, retries: list[ShardRetryRecord]
-    ) -> None:
-        """Stamp a recovered shard's retries into its own instrumentation.
-
-        Recorded into the successful attempt's tracer/metrics/spans (not
-        the shared campaign-level ones) so worker threads never contend;
-        the standard shard fold then merges them deterministically.
-        """
-        for retry in retries:
-            outcome.metrics.counter("shard_retries_total")
-            outcome.metrics.counter(
-                "shard_backoff_seconds_total", retry.backoff_seconds
-            )
-            outcome.tracer.emit(
-                EventKind.SHARD_RETRIED,
-                at=outcome.result.report.started_at,
-                shard=retry.shard_index,
-                attempt=retry.attempt,
-                backoff_seconds=retry.backoff_seconds,
-                resumed_from=retry.resumed_from,
-                error=retry.error,
-            )
-            if outcome.spans.enabled:
-                # The backoff interval sits on the retry timeline anchored
-                # at the checkpoint the retry restarted from.
-                start = float(outcome.result.report.started_at)
-                outcome.spans.record(
-                    SPAN_SHARD_RETRY,
-                    start,
-                    start + retry.backoff_seconds,
-                    attempt=retry.attempt,
-                    backoff_seconds=retry.backoff_seconds,
-                    resumed_from=retry.resumed_from,
-                )
 
     def _emit_recovery_accounting(
         self, runs: list[_ShardRun], missing: list[MissingRange]

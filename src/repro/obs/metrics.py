@@ -26,6 +26,9 @@ LabelSet = tuple[tuple[str, str], ...]
 
 
 def _labelset(labels: dict[str, object]) -> LabelSet:
+    # Most hot-path metrics are unlabelled; skip the genexp+sort for them.
+    if not labels:
+        return ()
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
+from repro.util.fsio import BufferedLineWriter
+
 #: Default span-buffer capacity — a 50k-site double crawl records a
 #: handful of spans per visit, comfortably under this bound.
 DEFAULT_SPAN_CAPACITY = 1_048_576
@@ -211,6 +213,34 @@ class SpanRecorder:
         if self.listener is not None:
             self.listener(span)
 
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Iterable[Span],
+        capacity: int = DEFAULT_SPAN_CAPACITY,
+        listener: Callable[[Span], None] | None = None,
+        common_fields: dict | None = None,
+    ) -> "SpanRecorder":
+        """Rehydrate a recorder from completed spans, ids preserved.
+
+        The inverse of shipping ``recorder.spans()`` across a process
+        boundary: the rebuilt recorder is indistinguishable from the
+        original to consumers of ``spans()``/``spans_by_start()``/
+        iteration — span ids and parent links survive verbatim, so merge
+        id-remapping works unchanged.  The listener does **not** fire
+        for rehydrated spans; callers decide whether to replay them.
+        """
+        recorder = cls(
+            capacity=capacity, listener=listener, common_fields=common_fields
+        )
+        highest = -1
+        for span in spans:
+            recorder._completed.append(span)
+            recorder._recorded += 1
+            highest = max(highest, span.span_id)
+        recorder._next_id = highest + 1
+        return recorder
+
     def adopt(self, span: Span, parent_id: int | None, **extra_fields) -> int:
         """Graft a foreign (e.g. shard-local) span into this recorder.
 
@@ -284,26 +314,30 @@ class SpanRecorder:
         )
 
     def to_jsonl(self, path: str | Path) -> None:
-        """Write a meta line followed by spans in ``(start, span_id)`` order."""
+        """Write a meta line followed by spans in ``(start, span_id)`` order.
+
+        Lines are batched through
+        :class:`~repro.util.fsio.BufferedLineWriter` so a campaign-sized
+        export issues a few large writes, not two per span.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         meta = self.meta()
         with path.open("w", encoding="utf-8") as handle:
-            handle.write(
-                json.dumps(
-                    {
-                        "meta": {
-                            "recorded": meta.recorded,
-                            "dropped": meta.dropped,
-                            "capacity": meta.capacity,
+            with BufferedLineWriter(handle) as writer:
+                writer.write_line(
+                    json.dumps(
+                        {
+                            "meta": {
+                                "recorded": meta.recorded,
+                                "dropped": meta.dropped,
+                                "capacity": meta.capacity,
+                            }
                         }
-                    }
+                    )
                 )
-            )
-            handle.write("\n")
-            for span in self.spans_by_start():
-                handle.write(span.to_json())
-                handle.write("\n")
+                for span in self.spans_by_start():
+                    writer.write_line(span.to_json())
 
     @staticmethod
     def read_jsonl(path: str | Path) -> list[Span]:

@@ -20,6 +20,7 @@ from enum import Enum
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.util.fsio import BufferedLineWriter
 from repro.util.timeline import Timestamp
 
 #: Default ring-buffer capacity — bounds memory on 50k-site campaigns
@@ -38,6 +39,7 @@ class EventKind(str, Enum):
     ATTESTATION_FETCH = "attestation-fetch"
     SHARD_STARTED = "shard-started"
     SHARD_MERGED = "shard-merged"
+    SHARD_EMPTY = "shard-empty"
     CHECKPOINT_WRITTEN = "checkpoint-written"
     CHECKPOINT_RESTORED = "checkpoint-restored"
     SHARD_RETRIED = "shard-retried"
@@ -158,27 +160,28 @@ class Tracer:
 
         The leading ``{"meta": ...}`` line records emitted/dropped/
         capacity so readers can tell a complete trace from one whose
-        oldest events fell out of the ring buffer.
+        oldest events fell out of the ring buffer.  Lines are batched
+        through :class:`~repro.util.fsio.BufferedLineWriter` so a full
+        campaign export issues a few large writes, not two per event.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         meta = self.meta()
         with path.open("w", encoding="utf-8") as handle:
-            handle.write(
-                json.dumps(
-                    {
-                        "meta": {
-                            "emitted": meta.emitted,
-                            "dropped": meta.dropped,
-                            "capacity": meta.capacity,
+            with BufferedLineWriter(handle) as writer:
+                writer.write_line(
+                    json.dumps(
+                        {
+                            "meta": {
+                                "emitted": meta.emitted,
+                                "dropped": meta.dropped,
+                                "capacity": meta.capacity,
+                            }
                         }
-                    }
+                    )
                 )
-            )
-            handle.write("\n")
-            for event in self._buffer:
-                handle.write(event.to_json())
-                handle.write("\n")
+                for event in self._buffer:
+                    writer.write_line(event.to_json())
 
     @staticmethod
     def read_jsonl(path: str | Path) -> list[TraceEvent]:

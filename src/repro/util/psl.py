@@ -42,8 +42,22 @@ _DEFAULT_MULTI_LABEL_SUFFIXES: tuple[str, ...] = (
 )
 
 
+#: Memoization bound per PSL instance.  A 50k-site world produces well
+#: under this many distinct hostnames; the clear-on-overflow policy
+#: keeps adversarial/synthetic corpora from growing the dict unbounded.
+_CACHE_LIMIT = 65_536
+
+
 class PublicSuffixList:
-    """Longest-match public-suffix lookups over an embedded rule set."""
+    """Longest-match public-suffix lookups over an embedded rule set.
+
+    Lookups are memoized per instance: the crawl hot path resolves the
+    same caller/third-party hostnames millions of times per campaign
+    (every Topics call gates on an eTLD+1, every dataset row normalises
+    its parties), so suffix and registrable-domain results are cached
+    keyed on the raw hostname string.  Malformed hostnames are *not*
+    cached — they raise ``ValueError`` exactly as the uncached path does.
+    """
 
     def __init__(self, multi_label_suffixes: Iterable[str] | None = None) -> None:
         rules = (
@@ -55,6 +69,31 @@ class PublicSuffixList:
         for suffix in self._multi_label:
             if "." not in suffix:
                 raise ValueError(f"multi-label suffix expected, got {suffix!r}")
+        #: hostname -> (public suffix, registrable domain)
+        self._cache: dict[str, tuple[str, str]] = {}
+
+    def _lookup(self, hostname: str) -> tuple[str, str]:
+        cached = self._cache.get(hostname)
+        if cached is not None:
+            return cached
+        labels = _labels(hostname)
+        suffix = labels[-1]
+        if len(labels) >= 2:
+            two = ".".join(labels[-2:])
+            if two in self._multi_label:
+                suffix = two
+        suffix_len = suffix.count(".") + 1
+        if len(labels) <= suffix_len:
+            # A bare public suffix is returned unchanged — the same
+            # graceful fallback Chromium applies.
+            registrable = hostname.lower().rstrip(".")
+        else:
+            registrable = ".".join(labels[-(suffix_len + 1):])
+        if len(self._cache) >= _CACHE_LIMIT:
+            self._cache.clear()
+        entry = (suffix, registrable)
+        self._cache[hostname] = entry
+        return entry
 
     def public_suffix(self, hostname: str) -> str:
         """Return the public suffix of ``hostname``.
@@ -64,12 +103,7 @@ class PublicSuffixList:
         >>> PublicSuffixList().public_suffix("ad.foo.net")
         'net'
         """
-        labels = _labels(hostname)
-        if len(labels) >= 2:
-            two = ".".join(labels[-2:])
-            if two in self._multi_label:
-                return two
-        return labels[-1]
+        return self._lookup(hostname)[0]
 
     def registrable_domain(self, hostname: str) -> str:
         """Return the eTLD+1 of ``hostname``.
@@ -83,12 +117,7 @@ class PublicSuffixList:
         >>> psl.registrable_domain("ad.foo.net")
         'foo.net'
         """
-        labels = _labels(hostname)
-        suffix = self.public_suffix(hostname)
-        suffix_len = suffix.count(".") + 1
-        if len(labels) <= suffix_len:
-            return hostname.lower().rstrip(".")
-        return ".".join(labels[-(suffix_len + 1):])
+        return self._lookup(hostname)[1]
 
     def second_level_name(self, hostname: str) -> str:
         """Return the label left of the public suffix — the paper's notion of
