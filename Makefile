@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint bench bench-small bench-smoke bench-obs bench-spans bench-parallel ci study experiments examples clean
+.PHONY: install test lint validate bench bench-small bench-smoke bench-obs bench-spans bench-parallel ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -47,10 +47,18 @@ bench-smoke:
 		benchmarks/bench_checkpoint.py \
 		--benchmark-only
 
-# Mirror of .github/workflows/ci.yml: lint, tier-1 suite, bench smoke.
+# Cross-artifact validation: the metamorphic relation suite at reduced
+# scale (the same run CI's validate job performs).
+validate:
+	PYTHONPATH=src $(PY) -m repro validate --metamorphic \
+		--sites 500 --shard-counts 1,2,3,5 --backends serial,thread,process
+
+# Mirror of .github/workflows/ci.yml: lint, tier-1 suite, bench smoke,
+# metamorphic validation.
 ci: lint
 	PYTHONPATH=src $(PY) -m pytest -x -q
 	PYTHONPATH=src $(MAKE) bench-smoke
+	$(MAKE) validate
 
 study:
 	$(PY) -m repro study

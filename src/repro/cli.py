@@ -8,7 +8,9 @@ Commands mirror the measurement workflow:
 * ``audit-cmp`` — the §5 CMP compliance audit;
 * ``reident`` — the re-identification risk study;
 * ``monitor`` — longitudinal monthly snapshots;
-* ``probe``   — fetch and validate one domain's attestation file.
+* ``probe``   — fetch and validate one domain's attestation file;
+* ``validate`` — audit an archived campaign with the invariant engine,
+  or (``--metamorphic``) re-run a small campaign under perturbations.
 """
 
 from __future__ import annotations
@@ -207,6 +209,19 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if recording:
         print()
         print(profile_spans(spans))
+    if args.validate:
+        from repro.validate import audit_archive, render_audit
+
+        audit = audit_archive(
+            args.out,
+            trace=args.trace_out or None,
+            metrics=args.metrics_out or None,
+            checkpoint_dir=args.checkpoint_dir or None,
+        )
+        print()
+        print(render_audit(audit))
+        if not audit.ok:
+            return 1
     return 0
 
 
@@ -296,6 +311,61 @@ def _cmd_targeting(args: argparse.Namespace) -> int:
     )
     print(render_targeting(study.run()))
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate import (
+        MetamorphicHarness,
+        audit_archive,
+        render_audit,
+        render_metamorphic,
+    )
+
+    if args.metamorphic:
+        import tempfile
+
+        workdir = args.workdir
+        scratch = None
+        if workdir is None:
+            scratch = tempfile.TemporaryDirectory(prefix="repro-metamorphic-")
+            workdir = scratch.name
+        try:
+            harness = MetamorphicHarness(
+                workdir,
+                sites=args.sites,
+                seed=args.seed,
+                shard_counts=tuple(
+                    int(token) for token in args.shard_counts.split(",")
+                ),
+                backends=tuple(
+                    token.strip() for token in args.backends.split(",")
+                ),
+            )
+            report = harness.run()
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
+        print(render_metamorphic(report))
+        if args.json_out:
+            report.save(args.json_out)
+            print(f"wrote metamorphic report to {args.json_out}")
+        return 0 if report.ok else 1
+
+    if args.archive is None:
+        print("error: an archive directory is required unless --metamorphic")
+        return 2
+    audit = audit_archive(
+        args.archive,
+        trace=args.trace,
+        metrics=args.metrics,
+        checkpoint_dir=args.checkpoint_dir,
+        partial=args.partial,
+    )
+    print(render_audit(audit))
+    if args.json_out:
+        audit.save(args.json_out)
+        print(f"wrote audit report to {args.json_out}")
+    return 0 if audit.ok else 1
 
 
 def _cmd_probe(args: argparse.Namespace) -> int:
@@ -407,6 +477,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="restarts granted to each shard before the campaign fails "
         "(default: 3)",
     )
+    crawl.add_argument(
+        "--validate",
+        action="store_true",
+        help="audit the archived campaign with the invariant engine after "
+        "the crawl (non-zero exit on violations)",
+    )
     crawl.set_defaults(func=_cmd_crawl)
 
     analyze = sub.add_parser("analyze", help="analyse an archived campaign")
@@ -458,6 +534,75 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(probe, 2_000)
     probe.add_argument("domain")
     probe.set_defaults(func=_cmd_probe)
+
+    validate = sub.add_parser(
+        "validate",
+        help="audit an archived campaign, or run the metamorphic harness",
+    )
+    validate.add_argument(
+        "archive",
+        nargs="?",
+        default=None,
+        help="archive directory written by `repro crawl --out`",
+    )
+    validate.add_argument(
+        "--trace",
+        default=None,
+        help="trace JSONL exported by `crawl --trace-out` "
+        "(default: <archive>/trace.jsonl if present)",
+    )
+    validate.add_argument(
+        "--metrics",
+        default=None,
+        help="metrics snapshot exported by `crawl --metrics-out` "
+        "(default: <archive>/metrics.json if present)",
+    )
+    validate.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint directory of the campaign "
+        "(default: <archive>/checkpoints if present)",
+    )
+    validate.add_argument(
+        "--partial",
+        default=None,
+        help="partial manifest of an --allow-partial campaign "
+        "(default: <archive>/partial.json if present)",
+    )
+    validate.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the audit / metamorphic report as JSON",
+    )
+    validate.add_argument(
+        "--metamorphic",
+        action="store_true",
+        help="run the metamorphic relation suite on a fresh reduced-scale "
+        "campaign instead of auditing an archive",
+    )
+    validate.add_argument(
+        "--sites", type=int, default=240, help="metamorphic campaign size"
+    )
+    validate.add_argument(
+        "--seed", type=int, default=11, help="metamorphic world seed"
+    )
+    validate.add_argument(
+        "--shard-counts",
+        default="1,2,3,5",
+        help="comma-separated shard counts for the partition relation",
+    )
+    validate.add_argument(
+        "--backends",
+        default="serial,thread",
+        help="comma-separated backends for the backend relation",
+    )
+    validate.add_argument(
+        "--workdir",
+        default=None,
+        help="keep the metamorphic run's archives in this directory "
+        "(default: a temporary directory)",
+    )
+    validate.set_defaults(func=_cmd_validate)
 
     return parser
 

@@ -91,7 +91,7 @@ def effective_shard_count(
     the adjustment as a ``shard-empty`` trace event.
     """
     if requested <= 0:
-        raise ValueError("shard_count must be positive")
+        raise ValueError(f"shard_count must be positive, got {requested}")
     effective = max(1, min(requested, targets))
     if effective < requested:
         tracer.emit(
@@ -118,6 +118,11 @@ class ShardedCrawl:
         metrics: MetricsRegistry = NULL_METRICS,
         spans: SpanRecorder = NULL_RECORDER,
     ) -> None:
+        if shard_count <= 0:
+            # Fail at construction, not at run(): a zero/negative count is
+            # always a caller bug, and surfacing it here keeps the
+            # traceback next to the mistake.
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
         self._world = world
         self._shard_count = shard_count
         self._corrupt_allowlist = corrupt_allowlist

@@ -73,6 +73,10 @@ class AttestationSurvey:
     def attested_domains(self) -> set[str]:
         return {d for d, probe in self._by_domain.items() if probe.attested}
 
+    def domains(self) -> list[str]:
+        """Every surveyed domain, sorted (the audit iterates these)."""
+        return sorted(self._by_domain)
+
     def issue_dates(self) -> dict[str, str]:
         """Attested domain → ISO issue date (the enrolment timeline input)."""
         return {

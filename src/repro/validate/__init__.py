@@ -1,0 +1,77 @@
+"""Cross-artifact validation: the invariant engine and metamorphic harness.
+
+A finished campaign is a bundle of independently produced artefacts — the
+two JSONL datasets, the attestation survey, the allow-list snapshot, the
+campaign report, and (when instrumentation or checkpointing ran) the
+trace, the metrics snapshot, the checkpoint manifest and the partial
+manifest.  The paper's headline findings hinge on these agreeing with
+each other, so :mod:`repro.validate` makes the agreement machine-checkable:
+
+* :mod:`repro.validate.artifacts` loads an archive directory into one
+  :class:`CrawlArtifacts` bundle, auto-discovering the optional files;
+* :mod:`repro.validate.rules` is the registry of named :class:`Rule`
+  objects, each auditing one invariant and reporting structured
+  :class:`Violation` records;
+* :mod:`repro.validate.engine` runs every applicable rule over a bundle
+  and renders the JSON / human-readable audit report;
+* :mod:`repro.validate.metamorphic` re-runs a small campaign under
+  systematic perturbations (shard counts, backends, instrumentation,
+  seeds, consent ablation, allow-list corruption) and checks the
+  metamorphic relations between the runs.
+"""
+
+from repro.validate.artifacts import (
+    ARTIFACT_ALLOWLIST,
+    ARTIFACT_CHECKPOINTS,
+    ARTIFACT_DATASETS,
+    ARTIFACT_METRICS,
+    ARTIFACT_PARTIAL,
+    ARTIFACT_REPORT,
+    ARTIFACT_SURVEY,
+    ARTIFACT_TAXONOMY,
+    ARTIFACT_TRACE,
+    CrawlArtifacts,
+)
+from repro.validate.engine import (
+    AuditReport,
+    RuleOutcome,
+    audit_archive,
+    audit_artifacts,
+    render_audit,
+)
+from repro.validate.metamorphic import (
+    MetamorphicHarness,
+    MetamorphicReport,
+    RelationResult,
+    compare_archives,
+    render_metamorphic,
+)
+from repro.validate.rules import RULE_REGISTRY, Rule, Severity, Violation, rule
+
+__all__ = [
+    "ARTIFACT_ALLOWLIST",
+    "ARTIFACT_CHECKPOINTS",
+    "ARTIFACT_DATASETS",
+    "ARTIFACT_METRICS",
+    "ARTIFACT_PARTIAL",
+    "ARTIFACT_REPORT",
+    "ARTIFACT_SURVEY",
+    "ARTIFACT_TAXONOMY",
+    "ARTIFACT_TRACE",
+    "AuditReport",
+    "CrawlArtifacts",
+    "MetamorphicHarness",
+    "MetamorphicReport",
+    "RelationResult",
+    "RULE_REGISTRY",
+    "Rule",
+    "RuleOutcome",
+    "Severity",
+    "Violation",
+    "audit_archive",
+    "audit_artifacts",
+    "compare_archives",
+    "render_audit",
+    "render_metamorphic",
+    "rule",
+]

@@ -1,0 +1,192 @@
+"""Running the rule catalogue over one campaign's artefacts.
+
+The engine is deliberately dumb: it asks every registered rule whether its
+required artefacts are present, runs the applicable ones, and folds the
+violations into an :class:`AuditReport` that renders to JSON (for CI
+artifacts) and to a human-readable summary (for terminals).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.validate.artifacts import CrawlArtifacts
+from repro.validate.rules import RULE_REGISTRY, Rule, Severity, Violation
+
+#: Outcome statuses for one rule.
+STATUS_OK = "ok"
+STATUS_VIOLATED = "violated"
+STATUS_SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class RuleOutcome:
+    """What happened when one rule ran (or was skipped)."""
+
+    rule: str
+    description: str
+    severity: Severity
+    status: str
+    violations: tuple[Violation, ...] = ()
+    missing: tuple[str, ...] = ()  # unmet artefact requirements when skipped
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rule": self.rule,
+            "description": self.description,
+            "severity": self.severity.value,
+            "status": self.status,
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+        if self.missing:
+            payload["missing_artifacts"] = list(self.missing)
+        return payload
+
+
+@dataclass
+class AuditReport:
+    """The full audit of one archive: one outcome per registered rule."""
+
+    archive: str
+    outcomes: tuple[RuleOutcome, ...]
+    artifacts_available: tuple[str, ...] = ()
+
+    @property
+    def violations(self) -> list[Violation]:
+        return [
+            violation
+            for outcome in self.outcomes
+            for violation in outcome.violations
+        ]
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity rule fired (warnings don't fail)."""
+        return not self.errors
+
+    def checked(self) -> list[RuleOutcome]:
+        return [o for o in self.outcomes if o.status != STATUS_SKIPPED]
+
+    def skipped(self) -> list[RuleOutcome]:
+        return [o for o in self.outcomes if o.status == STATUS_SKIPPED]
+
+    def to_json(self) -> str:
+        payload = {
+            "archive": self.archive,
+            "ok": self.ok,
+            "artifacts_available": sorted(self.artifacts_available),
+            "rules_checked": len(self.checked()),
+            "rules_skipped": len(self.skipped()),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+
+def audit_artifacts(
+    artifacts: CrawlArtifacts,
+    rules: dict[str, Rule] | None = None,
+) -> AuditReport:
+    """Run every applicable rule over an already-loaded bundle."""
+    catalogue = RULE_REGISTRY if rules is None else rules
+    available = artifacts.available()
+    outcomes = []
+    for name in sorted(catalogue):
+        registered = catalogue[name]
+        if not registered.applicable(available):
+            outcomes.append(
+                RuleOutcome(
+                    rule=registered.name,
+                    description=registered.description,
+                    severity=registered.severity,
+                    status=STATUS_SKIPPED,
+                    missing=tuple(sorted(registered.requires - available)),
+                )
+            )
+            continue
+        violations = tuple(registered.run(artifacts))
+        outcomes.append(
+            RuleOutcome(
+                rule=registered.name,
+                description=registered.description,
+                severity=registered.severity,
+                status=STATUS_VIOLATED if violations else STATUS_OK,
+                violations=violations,
+            )
+        )
+    return AuditReport(
+        archive=str(artifacts.directory),
+        outcomes=tuple(outcomes),
+        artifacts_available=tuple(sorted(available)),
+    )
+
+
+def audit_archive(
+    directory: str | Path,
+    trace: str | Path | None = None,
+    metrics: str | Path | None = None,
+    checkpoint_dir: str | Path | None = None,
+    partial: str | Path | None = None,
+    rules: dict[str, Rule] | None = None,
+) -> AuditReport:
+    """Load an archive directory and audit it end-to-end."""
+    artifacts = CrawlArtifacts.load(
+        directory,
+        trace=trace,
+        metrics=metrics,
+        checkpoint_dir=checkpoint_dir,
+        partial=partial,
+    )
+    return audit_artifacts(artifacts, rules=rules)
+
+
+#: How many violations one rule prints before eliding (JSON keeps them all).
+_DISPLAY_LIMIT = 5
+
+
+def render_audit(report: AuditReport) -> str:
+    """Human-readable audit summary (one line per rule, details on failure)."""
+    lines = [f"audit of {report.archive}"]
+    lines.append(
+        f"  artifacts: {', '.join(report.artifacts_available) or 'none'}"
+    )
+    for outcome in report.outcomes:
+        if outcome.status == STATUS_SKIPPED:
+            lines.append(
+                f"  SKIP {outcome.rule} (missing: {', '.join(outcome.missing)})"
+            )
+            continue
+        if outcome.status == STATUS_OK:
+            lines.append(f"  ok   {outcome.rule}")
+            continue
+        marker = "FAIL" if outcome.severity is Severity.ERROR else "WARN"
+        lines.append(
+            f"  {marker} {outcome.rule} "
+            f"({len(outcome.violations)} violation(s))"
+        )
+        for violation in outcome.violations[:_DISPLAY_LIMIT]:
+            lines.append(f"       - {violation.message}")
+        hidden = len(outcome.violations) - _DISPLAY_LIMIT
+        if hidden > 0:
+            lines.append(f"       ... and {hidden} more")
+    checked = len(report.checked())
+    lines.append(
+        f"{checked} rule(s) checked, {len(report.skipped())} skipped, "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    lines.append("RESULT: " + ("PASS" if report.ok else "FAIL"))
+    return "\n".join(lines)

@@ -248,3 +248,73 @@ class TestCommands:
         assert code == 0
         assert "HubSpot" in out
         assert "flagged CMPs" in out
+
+
+class TestValidateCommand:
+    def test_crawl_with_validate_flag_audits_archive(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        code = main(["crawl", "--sites", "300", "--out", out_dir, "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"audit of {out_dir}" in out
+        assert "RESULT: PASS" in out
+
+    def test_validate_archive_passes_and_writes_json(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "campaign")
+        assert main(["crawl", "--sites", "300", "--out", out_dir]) == 0
+        capsys.readouterr()
+        json_out = str(tmp_path / "audit.json")
+        code = main(["validate", out_dir, "--json-out", json_out])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RESULT: PASS" in out
+        import json
+
+        payload = json.loads((tmp_path / "audit.json").read_text())
+        assert payload["ok"] is True
+
+    def test_validate_corrupted_archive_fails(self, capsys, tmp_path):
+        out_dir = tmp_path / "campaign"
+        assert main(["crawl", "--sites", "300", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        import json
+
+        report = json.loads((out_dir / "report.json").read_text())
+        report["ok"] += 5
+        (out_dir / "report.json").write_text(json.dumps(report))
+        code = main(["validate", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL report-accounting" in out
+        assert "RESULT: FAIL" in out
+
+    def test_validate_without_archive_errors(self, capsys):
+        code = main(["validate"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "archive directory is required" in out
+
+    def test_validate_metamorphic(self, capsys, tmp_path):
+        json_out = str(tmp_path / "meta.json")
+        code = main(
+            [
+                "validate",
+                "--metamorphic",
+                "--sites",
+                "160",
+                "--shard-counts",
+                "1,2",
+                "--backends",
+                "serial",
+                "--json-out",
+                json_out,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RESULT: PASS" in out
+        import json
+
+        payload = json.loads((tmp_path / "meta.json").read_text())
+        assert payload["ok"] is True
+        assert len(payload["relations"]) == 6

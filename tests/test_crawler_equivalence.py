@@ -187,22 +187,29 @@ class TestMergedTraceOrdering:
 class TestSpanEquivalence:
     """The span layer observes the campaign without perturbing it."""
 
-    def test_results_identical_with_and_without_spans(
+    def test_instrumentation_transparency_relation(self, tmp_path):
+        """Recording on must leave results byte-identical to the seed
+        behaviour (spans never touch the clock or any RNG).  The relation
+        is owned by the metamorphic harness; this drives it directly."""
+        from repro.validate import MetamorphicHarness
+
+        harness = MetamorphicHarness(tmp_path, sites=300, seed=3)
+        result = harness.check_instrumentation_transparency()
+        assert result.passed, "\n".join(result.details)
+
+    def test_canary_byte_pin_with_and_without_spans(
         self, sequential, plain_sequential, tmp_path
     ):
-        """Recording on must leave results byte-identical to the seed
-        behaviour (spans never touch the clock or any RNG)."""
+        """One legacy byte pin kept as a canary for the harness itself:
+        if this fires while the relation above stays green, the harness
+        comparator has gone blind."""
         instrumented = sequential[0]
         plain = plain_sequential
-        for name, left, right in (
-            ("d_ba", instrumented.d_ba, plain.d_ba),
-            ("d_aa", instrumented.d_aa, plain.d_aa),
-        ):
-            left_path = tmp_path / f"{name}_spans.jsonl"
-            right_path = tmp_path / f"{name}_plain.jsonl"
-            left.to_jsonl(left_path)
-            right.to_jsonl(right_path)
-            assert left_path.read_bytes() == right_path.read_bytes()
+        left_path = tmp_path / "d_ba_spans.jsonl"
+        right_path = tmp_path / "d_ba_plain.jsonl"
+        instrumented.d_ba.to_jsonl(left_path)
+        plain.d_ba.to_jsonl(right_path)
+        assert left_path.read_bytes() == right_path.read_bytes()
         assert instrumented.report == plain.report
         assert instrumented.survey._by_domain == plain.survey._by_domain
 

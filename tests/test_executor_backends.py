@@ -91,27 +91,35 @@ class TestBackendResolution:
 
 
 class TestCrossBackendDeterminism:
-    """Satellite pin: identical archive bytes across every backend."""
+    """Identical archive bytes across every backend — the relation is
+    owned by the metamorphic harness; one legacy pin stays as a canary."""
 
     @pytest.fixture(scope="class")
-    def archives(self, tiny_world, tmp_path_factory):
-        paths = {}
-        for backend in ("serial", "thread", "process"):
-            result = ShardedCrawl(
-                tiny_world, shard_count=3, backend=backend, max_workers=2
-            ).run()
-            paths[backend] = save_crawl(
-                result, tmp_path_factory.mktemp(f"archive-{backend}")
-            )
-        return paths
+    def harness(self, tmp_path_factory):
+        from repro.validate import MetamorphicHarness
 
-    @pytest.mark.parametrize("filename", _ARCHIVE_FILES)
-    def test_archives_byte_identical(self, archives, filename):
-        reference = (archives["serial"] / filename).read_bytes()
-        assert (archives["thread"] / filename).read_bytes() == reference
-        assert (archives["process"] / filename).read_bytes() == reference
+        return MetamorphicHarness(
+            tmp_path_factory.mktemp("backend-harness"),
+            sites=TINY_SITES,
+            seed=11,
+            shard_counts=(3,),
+            backends=("serial", "thread", "process"),
+        )
 
-    def test_environment_backend_matches(self, tiny_world, monkeypatch, archives):
+    def test_backend_equivalence_relation(self, harness):
+        result = harness.check_backend_equivalence()
+        assert result.passed, "\n".join(result.details)
+
+    def test_canary_byte_pin(self, harness):
+        """If this fires while the relation above stays green, the
+        harness comparator has gone blind."""
+        harness.check_backend_equivalence()  # archives cached by the run
+        reference = (harness.workdir / "shards-3" / "d_ba.jsonl").read_bytes()
+        for backend in ("thread", "process"):
+            candidate = harness.workdir / f"backend-{backend}" / "d_ba.jsonl"
+            assert candidate.read_bytes() == reference
+
+    def test_environment_backend_matches(self, tiny_world, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
         result = ShardedCrawl(tiny_world, shard_count=3).run()
         via_env = {r.domain for r in result.d_ba}
@@ -217,6 +225,26 @@ class TestShardCountClamp:
     def test_invalid_count_rejected(self):
         with pytest.raises(ValueError):
             effective_shard_count(0, 10)
+
+    def test_error_names_the_offending_value(self):
+        with pytest.raises(ValueError, match="shard_count must be positive, got -4"):
+            effective_shard_count(-4, 10)
+
+    def test_sharded_crawl_rejects_nonpositive_count_at_construction(
+        self, tiny_world
+    ):
+        """Regression: a zero/negative count must fail fast in the
+        constructor, not surface later from run()."""
+        with pytest.raises(ValueError, match="shard_count must be positive, got 0"):
+            ShardedCrawl(tiny_world, shard_count=0)
+        with pytest.raises(ValueError, match="got -2"):
+            ShardedCrawl(tiny_world, shard_count=-2)
+
+    def test_resumable_crawl_rejects_nonpositive_count_at_construction(
+        self, tiny_world, tmp_path
+    ):
+        with pytest.raises(ValueError, match="shard_count must be positive, got -1"):
+            ResumableCrawl(tiny_world, tmp_path, shard_count=-1)
 
     def test_resumable_campaign_clamps(self, tiny_world, tmp_path):
         tracer = Tracer()
