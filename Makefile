@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint validate bench bench-small bench-smoke bench-obs bench-spans bench-parallel ci study experiments examples clean
+.PHONY: install test lint validate bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -39,13 +39,29 @@ bench-spans:
 bench-parallel:
 	REPRO_BENCH_SITES=6000 $(PY) -m pytest benchmarks/bench_parallel_crawl.py --benchmark-only
 
-# The reduced-scale benchmark job CI runs on every push.
+# The columnar data plane's acceptance pair: crawl throughput and the
+# backend matrix at the scale the PR baselines were measured
+# (REPRO_BENCH_SITES=6000), recording visits/sec into the JSON artifact.
+# The regression gate runs at the smoke scale (bench-smoke), where the
+# committed baseline was measured.
+bench-columnar:
+	REPRO_BENCH_SITES=6000 $(PY) -m pytest \
+		benchmarks/bench_crawl_throughput.py::test_crawl_throughput \
+		benchmarks/bench_parallel_crawl.py \
+		--benchmark-only \
+		--benchmark-json=bench-columnar.json
+
+# The reduced-scale benchmark job CI runs on every push: the bench run
+# records visits/sec into the JSON artifact, and the regression gate
+# fails on a >30% drop versus the committed baseline.
 bench-smoke:
 	REPRO_BENCH_SITES=2000 $(PY) -m pytest \
 		benchmarks/bench_crawl_throughput.py \
 		benchmarks/bench_parallel_crawl.py \
 		benchmarks/bench_checkpoint.py \
-		--benchmark-only
+		--benchmark-only \
+		--benchmark-json=bench-smoke.json
+	$(PY) scripts/check_bench_regression.py bench-smoke.json
 
 # Cross-artifact validation: the metamorphic relation suite at reduced
 # scale (the same run CI's validate job performs).

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate crawl-throughput regressions against a committed baseline.
+
+Reads a ``pytest-benchmark --benchmark-json`` results file, pulls the
+``visits_per_second`` figure each crawl benchmark records into its
+``extra_info``, and compares it against the committed baseline
+(``benchmarks/baseline_visits_per_second.json``).  A benchmark that
+drops more than the allowed fraction below its baseline fails the run;
+faster-than-baseline results are reported (and can be promoted with
+``--update`` after an intentional improvement lands).
+
+CI runners vary in raw speed, so the committed baseline is deliberately
+conservative and the threshold is configurable::
+
+    python scripts/check_bench_regression.py bench-results.json
+    python scripts/check_bench_regression.py bench-results.json --max-regression 0.5
+    python scripts/check_bench_regression.py bench-results.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default location of the committed baseline, relative to the repo root.
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / (
+    "baseline_visits_per_second.json"
+)
+
+#: Benchmarks gated on their recorded visits/sec (the columnar data
+#: plane's acceptance metric).  Names match pytest-benchmark's ``name``.
+GATED_BENCHMARKS = ("test_crawl_throughput",)
+
+
+def visits_per_second(results: dict) -> dict[str, float]:
+    """``benchmark name -> visits/sec`` for every gated benchmark found."""
+    rates: dict[str, float] = {}
+    for bench in results.get("benchmarks", ()):
+        name = bench.get("name", "")
+        if name not in GATED_BENCHMARKS:
+            continue
+        rate = bench.get("extra_info", {}).get("visits_per_second")
+        if rate:
+            rates[name] = float(rate)
+    return rates
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help=f"baseline JSON (default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below baseline (default: 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured rates out as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    measured = visits_per_second(json.loads(args.results.read_text()))
+    if not measured:
+        print(
+            "error: no gated benchmark with a visits_per_second figure in "
+            f"{args.results} (expected one of: {', '.join(GATED_BENCHMARKS)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(measured, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.baseline}")
+        for name, rate in sorted(measured.items()):
+            print(f"  {name}: {rate:,.0f} visits/sec")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = []
+    for name, rate in sorted(measured.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"  {name}: {rate:,.0f} visits/sec (no baseline; skipped)")
+            continue
+        change = rate / reference - 1.0
+        status = "ok"
+        if change < -args.max_regression:
+            status = "REGRESSION"
+            failures.append(name)
+        print(
+            f"  {name}: {rate:,.0f} visits/sec vs baseline "
+            f"{reference:,.0f} ({change:+.1%}) {status}"
+        )
+
+    if failures:
+        print(
+            f"error: visits/sec regressed more than "
+            f"{args.max_regression:.0%} on: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,11 +110,15 @@ def analyze_anomalous(
         callers.add(call.caller)
         sites.add(record.domain)
 
+    # all_by_domain: repeat-visit campaigns hold several records per
+    # domain, and GTM presence on any of them counts the site.
     gtm_sites = sum(
         1
         for domain in sites
-        if (record := dataset.by_domain(domain)) is not None
-        and GTM_DOMAIN in record.third_parties
+        if any(
+            GTM_DOMAIN in record.third_parties
+            for record in dataset.all_by_domain(domain)
+        )
     )
     return AnomalousReport(
         total_calls=len(calls),

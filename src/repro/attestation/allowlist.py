@@ -23,6 +23,11 @@ ALLOWLIST_FILENAME = "privacy-sandbox-attestations.dat"
 _MAGIC = "PSAT"
 _FORMAT_VERSION = 1
 
+#: Bound on the per-database gating-decision memo.  Evicted generation-wise
+#: (see :meth:`AllowListDatabase.check_caller`) so hot callers survive
+#: crossing the limit instead of cold-starting all at once.
+_DECISION_CACHE_LIMIT = 65_536
+
 
 class GatingDecision(enum.Enum):
     """Why a Topics API call was allowed or blocked by enrolment gating."""
@@ -81,6 +86,8 @@ class AllowListDatabase:
     #: state changes (update/corrupt/remove) — a stale entry here would
     #: misclassify calls as Legitimate/Anomalous.
     _decisions: dict = field(default_factory=dict, repr=False, compare=False)
+    #: previous decision generation (segmented eviction, see check_caller)
+    _stale_decisions: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def from_allowlist(cls, allowlist: AllowList) -> "AllowListDatabase":
@@ -92,6 +99,7 @@ class AllowListDatabase:
         """Install a fresh component payload, re-parsing it."""
         self._payload = payload
         self._decisions.clear()
+        self._stale_decisions.clear()
         try:
             self._parsed = parse_allowlist(payload)
             self._corrupt = False
@@ -104,6 +112,7 @@ class AllowListDatabase:
         if self._payload is None:
             self._corrupt = True
             self._decisions.clear()
+            self._stale_decisions.clear()
             return
         damaged = self._payload.replace(_MAGIC, "XXXX", 1) + "garbage\x00"
         self.update(damaged)
@@ -114,6 +123,7 @@ class AllowListDatabase:
         self._parsed = None
         self._corrupt = True
         self._decisions.clear()
+        self._stale_decisions.clear()
 
     @property
     def is_corrupt(self) -> bool:
@@ -137,19 +147,26 @@ class AllowListDatabase:
         Decisions are cached per caller host (the hot path re-gates the
         same few hundred callers tens of thousands of times per crawl);
         ``update``/``corrupt``/``remove`` invalidate the cache since the
-        decision depends on the database state at call time.
+        decision depends on the database state at call time.  Eviction is
+        segmented: when the live generation reaches half the limit it
+        replaces the stale one, and a stale hit promotes the entry back —
+        so hot callers survive overflow instead of a periodic wholesale
+        ``clear()`` cold-starting every caller at once.
         """
         decision = self._decisions.get(caller_host)
         if decision is not None:
             return decision
-        if self.is_corrupt:
-            decision = GatingDecision.ALLOWED_DATABASE_CORRUPT
-        elif caller_host in self._parsed:
-            decision = GatingDecision.ALLOWED_ENROLLED
-        else:
-            decision = GatingDecision.BLOCKED_NOT_ENROLLED
-        if len(self._decisions) >= 65_536:
-            self._decisions.clear()
+        decision = self._stale_decisions.get(caller_host)
+        if decision is None:
+            if self.is_corrupt:
+                decision = GatingDecision.ALLOWED_DATABASE_CORRUPT
+            elif caller_host in self._parsed:
+                decision = GatingDecision.ALLOWED_ENROLLED
+            else:
+                decision = GatingDecision.BLOCKED_NOT_ENROLLED
+        if len(self._decisions) >= _DECISION_CACHE_LIMIT // 2:
+            self._stale_decisions = self._decisions
+            self._decisions = {}
         self._decisions[caller_host] = decision
         return decision
 

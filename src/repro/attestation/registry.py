@@ -62,6 +62,11 @@ class EnrollmentRegistry:
                 raise ValueError(f"duplicate enrolment for {record.domain}")
             self._by_domain[record.domain] = record
         self._migration_at = migration_at
+        #: (domain, post-migration era) -> served payload.  The payload
+        #: depends on ``now`` only through the migration comparison, so
+        #: two entries per domain cover every instant; repeated surveys
+        #: skip re-serialising the same attestation files.
+        self._payload_cache: dict[tuple[str, bool], str | None] = {}
 
     def __len__(self) -> int:
         return len(self._by_domain)
@@ -105,6 +110,10 @@ class EnrollmentRegistry:
 
     # -- served artefacts ------------------------------------------------------
 
+    def migrated(self, now: Timestamp) -> bool:
+        """Whether ``now`` falls in the post-migration schema era."""
+        return now >= self._migration_at
+
     def attestation_payload(self, domain: str, now: Timestamp) -> str | None:
         """The attestation JSON ``domain`` serves at time ``now``.
 
@@ -113,6 +122,13 @@ class EnrollmentRegistry:
         erroneous deployments the paper found).  Files regenerated at or
         after the migration date carry the ``enrollment_site`` field.
         """
+        key = (domain, now >= self._migration_at)
+        if key in self._payload_cache:
+            return self._payload_cache[key]
+        payload = self._payload_cache[key] = self._build_payload(*key)
+        return payload
+
+    def _build_payload(self, domain: str, migrated: bool) -> str | None:
         record = self._by_domain.get(domain)
         if record is None or not record.serves_attestation:
             return None
@@ -122,7 +138,7 @@ class EnrollmentRegistry:
             domain=domain,
             issued_at=record.enrolled_at,
             attests_topics=True,
-            has_enrollment_site=now >= self._migration_at,
+            has_enrollment_site=migrated,
         )
         return file.to_json()
 

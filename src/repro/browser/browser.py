@@ -24,6 +24,7 @@ from repro.browser.failures import failure_kind_for
 from repro.browser.topics.api import TopicsApi
 from repro.browser.topics.manager import BrowsingTopicsSiteDataManager, TopicsApiCall
 from repro.browser.topics.selection import EpochTopicsSelector
+from repro.browser.topics.types import ApiCallType
 from repro.obs import (
     EventKind,
     NULL_METRICS,
@@ -35,6 +36,7 @@ from repro.obs import (
 )
 from repro.obs.spans import SPAN_NAVIGATE, SPAN_SCRIPT_EXEC, SPAN_TOPICS_CALL
 from repro.taxonomy.classifier import SiteClassifier
+from repro.util.psl import etld_plus_one
 from repro.util.text import stable_digest
 from repro.util.timeline import SimClock
 from repro.web.banner import ConsentBanner
@@ -68,6 +70,12 @@ class VisitOutcome:
     loaded_hosts: frozenset[str] = frozenset()
     third_party_domains: frozenset[str] = frozenset()
     topics_calls: tuple[TopicsApiCall, ...] = ()
+    #: Plan-built visits carry their third parties pre-sorted and the CMP
+    #: pre-detected (both fixed per (site, consent) variant), sparing the
+    #: crawler a sort + detection pass per record.  ``detected_cmp`` is
+    #: only meaningful when ``third_parties_sorted`` is not None.
+    third_parties_sorted: tuple[str, ...] | None = None
+    detected_cmp: str | None = None
 
     @property
     def redirected(self) -> bool:
@@ -127,6 +135,15 @@ class Browser:
         )
         self._visit_counter = 0
         self._failed_attempts: dict[str, int] = {}
+        # Visit-plan fast path: with all instrumentation off (no tracer,
+        # metrics or spans to feed per-stage events), visits execute from
+        # the world's precomputed SitePlans instead of re-walking pages.
+        # Stub worlds without a planner simply keep the legacy path.
+        self._planner = None
+        if not (tracer.enabled or metrics.enabled or spans.enabled):
+            planner_factory = getattr(world, "visit_planner", None)
+            if planner_factory is not None:
+                self._planner = planner_factory(script_origin_mode)
 
     # -- profile management --------------------------------------------------------
 
@@ -384,6 +401,9 @@ class Browser:
         if consent_granted is None:
             consent_granted = self.consent.is_granted(domain)
 
+        if self._planner is not None:
+            return self._planned_visit(domain, consent_granted)
+
         final_site = site
         if site.redirect_to is not None:
             final_site = self._world.site(site.redirect_to)
@@ -463,4 +483,102 @@ class Browser:
             loaded_hosts=frozenset(log.hosts()),
             third_party_domains=frozenset(log.third_party_domains(page_domain)),
             topics_calls=calls,
+        )
+
+    def _planned_visit(self, domain: str, consent_granted: bool) -> VisitOutcome:
+        """Execute a visit from its precomputed :class:`SitePlan`.
+
+        Performs exactly the state mutations the legacy path would — page
+        history, cache inserts, cookie impressions, Topics calls and
+        observations, in page order — but reads every static decision
+        (which tags run, who calls, how often) from the plan.  Reachable
+        sites only; the caller has already resolved reachability,
+        retries and consent.
+        """
+        plan = self._planner.plan_for(domain, consent_granted)
+        manager = self.topics_manager
+        tracker = self.cookie_tracker
+        now = self.clock.now()
+        page_domain = plan.page_domain
+
+        self._network.cache._entries.update(plan.cache_urls)
+        manager.record_page_visit(page_domain, now)
+        call_mark = manager.call_count
+        enabled = manager.topics_enabled
+        fired_hosts: set[str] | None = set() if plan.conditional else None
+
+        for op in plan.ops:
+            if op.impression_host is not None:
+                tracker.track_impression(op.impression_host, page_domain, now)
+            call = op.call
+            if call is None:
+                continue
+            if op.policy is not None:
+                if not op.policy.is_enabled(op.caller, page_domain, now):
+                    continue
+                # A fired conditional call fetches its endpoint whether or
+                # not the API itself is enabled (the fetch precedes the
+                # call on the legacy path).
+                self._network.cache._entries.add(call.fetch_url)
+                fired_hosts.add(call.fetch_host)
+            if not enabled:
+                # Legacy semantics: every attempt raises before mutating
+                # any state; ad tags swallow it, rogue loops bail out.
+                continue
+            if call.javascript:
+                for _ in range(call.count):
+                    manager.handle_topics_call(
+                        call.caller_host,
+                        page_domain,
+                        ApiCallType.JAVASCRIPT,
+                        now,
+                        observe=True,
+                    )
+            else:
+                for _ in range(call.count):
+                    manager.handle_topics_call(
+                        call.caller_host,
+                        page_domain,
+                        call.call_type,
+                        now,
+                        observe=False,
+                    )
+                    if manager.last_call.decision.allowed:
+                        manager.record_caller_observation(
+                            call.caller_host, page_domain, now
+                        )
+
+        calls = tuple(manager.drain_calls_since(call_mark))
+        if fired_hosts:
+            loaded_hosts = frozenset(plan.loaded_hosts | fired_hosts)
+            third = set(plan.third_parties)
+            for host in fired_hosts:
+                registrable = etld_plus_one(host)
+                if registrable != page_domain:
+                    third.add(registrable)
+            third_party_domains = frozenset(third)
+            third_parties_sorted = tuple(sorted(third))
+            cmp_name = (
+                self._world.cmps.detect_from_domains(loaded_hosts)
+                if plan.cmp_rescan
+                else plan.cmp
+            )
+        else:
+            loaded_hosts = plan.loaded_hosts
+            third_party_domains = plan.third_parties
+            third_parties_sorted = plan.third_parties_sorted
+            cmp_name = plan.cmp
+        return VisitOutcome(
+            requested_domain=domain,
+            ok=True,
+            final_domain=page_domain,
+            url=plan.url,
+            final_url=plan.final_url,
+            consent_granted=consent_granted,
+            banner=plan.banner,
+            loaded_hosts=loaded_hosts,
+            third_party_domains=third_party_domains,
+            topics_calls=calls,
+            third_parties_sorted=third_parties_sorted,
+            detected_cmp=cmp_name,
         )

@@ -108,6 +108,9 @@ class CookieTracker:
         self._jar = jar
         self._profile_seed = profile_seed
         self.impressions: list[tuple[str, str, bool]] = []  # (cp, site, had_id)
+        # The minted identifier is a pure function of (seed, caller); when
+        # the jar blocks storage every impression re-mints, so memoise it.
+        self._minted: dict[str, str] = {}
 
     def track_impression(
         self, caller_host: str, page_site: str, now: Timestamp
@@ -123,7 +126,11 @@ class CookieTracker:
             self.impressions.append((caller, page_site, True))
             return existing.value
 
-        minted = f"uid-{stable_digest(str(self._profile_seed), caller):016x}"
+        minted = self._minted.get(caller)
+        if minted is None:
+            minted = self._minted[caller] = (
+                f"uid-{stable_digest(str(self._profile_seed), caller):016x}"
+            )
         stored = self._jar.set_cookie(
             caller_host, page_site, TRACKING_COOKIE, minted, now
         )

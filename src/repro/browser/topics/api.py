@@ -60,7 +60,7 @@ class TopicsApi:
         """Trace the call the manager just logged, with its classification."""
         if not (self._tracer.enabled or self._metrics.enabled):
             return
-        call = self._manager.call_log[-1]
+        call = self._manager.last_call
         self._metrics.counter(
             "topics_calls_total",
             type=call.call_type.value,
@@ -126,9 +126,7 @@ class TopicsApi:
         )
         self._instrument_last_call(caller_context=f"fetch:{url.host}")
         observed = False
-        if observe_requested(response_observe_header) and self._manager.call_log[
-            -1
-        ].allowed:
+        if observe_requested(response_observe_header) and self._manager.last_call.allowed:
             self._manager.record_caller_observation(
                 url.host, context.top_frame_site, now
             )
@@ -157,9 +155,7 @@ class TopicsApi:
             observe=False,
         )
         self._instrument_last_call(caller_context=f"iframe:{src.host}")
-        if observe_requested(response_observe_header) and self._manager.call_log[
-            -1
-        ].allowed:
+        if observe_requested(response_observe_header) and self._manager.last_call.allowed:
             self._manager.record_caller_observation(
                 src.host, parent.top_frame_site, now
             )

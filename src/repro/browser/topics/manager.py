@@ -81,6 +81,15 @@ class BrowsingTopicsSiteDataManager:
         return self._call_log[index:]
 
     @property
+    def last_call(self) -> TopicsApiCall:
+        """The most recently logged call.
+
+        O(1), unlike ``call_log[-1]`` which snapshots the whole log —
+        on the hot path that copy made every call cost O(calls so far).
+        """
+        return self._call_log[-1]
+
+    @property
     def call_count(self) -> int:
         return len(self._call_log)
 

@@ -61,6 +61,11 @@ class EpochTopicsSelector:
         #: sites contributing each top topic, per epoch — needed for the
         #: observed-by filter.
         self._topic_sites_cache: dict[int, dict[int, set[str]]] = {}
+        #: per-epoch memo of the answer each caller gets; an answer is a
+        #: pure function of (history state for the epoch, caller, seed),
+        #: and every history write invalidates its epoch (see
+        #: :meth:`invalidate_epoch`), so the memo can never go stale.
+        self._answer_cache: dict[int, dict[str, Topic | None]] = {}
 
     # -- epoch digests ----------------------------------------------------------
 
@@ -101,6 +106,7 @@ class EpochTopicsSelector:
         """Drop a cached digest (used when observing within a live epoch)."""
         self._epoch_cache.pop(epoch, None)
         self._topic_sites_cache.pop(epoch, None)
+        self._answer_cache.pop(epoch, None)
 
     # -- per-caller answers -------------------------------------------------------
 
@@ -115,7 +121,13 @@ class EpochTopicsSelector:
         answers: list[Topic] = []
         seen_ids: set[int] = set()
         for epoch in range(current_epoch - EPOCHS_PER_CALL, current_epoch):
-            topic = self._epoch_answer(history, caller, epoch)
+            per_epoch = self._answer_cache.setdefault(epoch, {})
+            if caller in per_epoch:
+                topic = per_epoch[caller]
+            else:
+                topic = per_epoch[caller] = self._epoch_answer(
+                    history, caller, epoch
+                )
             if topic is None or topic.topic_id in seen_ids:
                 continue
             seen_ids.add(topic.topic_id)

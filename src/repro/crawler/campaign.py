@@ -23,13 +23,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.browser.browser import Browser, VisitOutcome, state_digest_of
 from repro.browser.script import ScriptOriginMode
-from repro.crawler.dataset import (
-    CallRecord,
-    Dataset,
-    PHASE_AFTER,
-    PHASE_BEFORE,
-    VisitRecord,
-)
+from repro.crawler.dataset import Dataset, PHASE_AFTER, PHASE_BEFORE
 from repro.crawler.privaccept import BannerDetection, PrivAccept
 from repro.crawler.wellknown import AttestationSurvey, survey_attestations
 from repro.obs import (
@@ -107,8 +101,8 @@ def attestation_targets(
     the two execution modes cannot drift apart.
     """
     encountered = d_ba.unique_third_parties() | d_aa.unique_third_parties()
-    encountered.update(record.domain for record in d_ba)
-    encountered.update(record.final_domain for record in d_ba)
+    encountered.update(d_ba.buffers.domain)
+    encountered.update(d_ba.buffers.final_domain)
     encountered.update(allowed)
     return encountered
 
@@ -171,6 +165,14 @@ class CrawlCampaign:
         # raising simulates a worker dying mid-campaign at that exact
         # visit offset (the resumable tests kill shards through this).
         self._fault_hook = fault_hook
+        # Priv-Accept verdict memo.  Detection is a pure function of the
+        # banner's clickable labels, and those come from small per-language
+        # phrase pools — a campaign sees a few dozen distinct button sets
+        # across thousands of banners, so keying by label tuple collapses
+        # keyword matching to one scan per distinct wording.
+        self._banner_detections: dict[
+            tuple[str, ...] | None, BannerDetection
+        ] = {}
 
     def run(self) -> CrawlResult:
         """Execute the full Before/After protocol."""
@@ -345,10 +347,10 @@ class CrawlCampaign:
             return
         report.ok += 1
 
-        detection = self._privaccept.detect_and_accept(before.banner)
+        detection = self._detect_banner(before.banner)
         if detection.banner_found:
             report.banners_seen += 1
-        d_ba.add(self._record(rank, before, PHASE_BEFORE, detection, world))
+        self._append(d_ba, rank, before, PHASE_BEFORE, detection, world)
 
         if instrumented:
             metrics.counter(
@@ -402,7 +404,7 @@ class CrawlCampaign:
         if recording:
             spans.exit(at=clock.now(), ok=after.ok)
         if after.ok:
-            d_aa.add(self._record(rank, after, PHASE_AFTER, detection, world))
+            self._append(d_aa, rank, after, PHASE_AFTER, detection, world)
             metrics.counter(
                 "crawl_visits_total", phase=PHASE_AFTER, outcome="ok"
             )
@@ -495,16 +497,36 @@ class CrawlCampaign:
                 complete=complete,
             )
 
-    def _record(
+    def _detect_banner(self, banner) -> BannerDetection:
+        key = banner.buttons() if banner is not None else None
+        detection = self._banner_detections.get(key)
+        if detection is None:
+            detection = self._privaccept.detect_and_accept(banner)
+            self._banner_detections[key] = detection
+        return detection
+
+    def _append(
         self,
+        dataset: Dataset,
         rank: int,
         outcome: VisitOutcome,
         phase: str,
         detection: BannerDetection,
         world: "SyntheticWeb",
-    ) -> VisitRecord:
-        cmp_name = world.cmps.detect_from_domains(outcome.loaded_hosts)
-        return VisitRecord(
+    ) -> None:
+        """Append one dataset row column-wise — no record object built.
+
+        Plan-built outcomes carry their third parties pre-sorted and the
+        CMP pre-detected (both fixed per (site, consent) variant);
+        legacy outcomes compute them here as before.
+        """
+        if outcome.third_parties_sorted is not None:
+            third_parties = outcome.third_parties_sorted
+            cmp_name = outcome.detected_cmp
+        else:
+            third_parties = tuple(sorted(outcome.third_party_domains))
+            cmp_name = world.cmps.detect_from_domains(outcome.loaded_hosts)
+        dataset.append_visit(
             rank=rank,
             domain=outcome.requested_domain,
             final_domain=outcome.final_domain,
@@ -517,8 +539,6 @@ class CrawlCampaign:
             ),
             accept_clicked=detection.accept_clicked,
             cmp=cmp_name,
-            third_parties=tuple(sorted(outcome.third_party_domains)),
-            calls=tuple(
-                CallRecord.from_api_call(call) for call in outcome.topics_calls
-            ),
+            third_parties=third_parties,
+            api_calls=outcome.topics_calls,
         )

@@ -1,0 +1,286 @@
+"""Columnar (struct-of-arrays) storage for crawl visit data.
+
+The shard inner loop used to materialise a frozen ``VisitRecord`` (plus
+one ``CallRecord`` per Topics call) for every visit, ship those object
+trees through pickle between worker processes, and walk them again for
+every aggregate.  At paper scale — tens of thousands of visits, each
+with a handful of calls and third parties — the per-object allocation,
+hashing and pickling dominates the shard wall-clock.
+
+:class:`VisitBuffers` keeps the same information as flat parallel
+columns built from stdlib primitives only:
+
+* one scalar column per visit field (``array('q')`` for ints, a
+  ``bytearray`` per boolean flag, plain lists of interned-ish ``str``
+  references for text — pickle stores each distinct string once, so a
+  column of repeated caller names costs a machine word per row);
+* variable-length per-visit sequences (third parties, Topics calls) as
+  a flat value column plus a CSR-style offsets array — row ``i`` owns
+  the half-open slice ``offsets[i]:offsets[i + 1]``.
+
+Rows append in O(1), buffers concatenate in O(rows) without touching
+per-call objects, and the whole structure pickles as a few flat
+buffers.  ``repro.crawler.dataset`` wraps these buffers in the lazy
+``Dataset`` facade that re-materialises ``VisitRecord`` objects on
+demand, so every downstream consumer (analysis, validate, archive)
+keeps its record-oriented view.
+
+The row layout mirrors ``VisitRecord`` exactly; see
+:meth:`VisitBuffers.record_at` for the authoritative column ↔ field
+mapping.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # imported late at materialisation time (cycle with dataset)
+    from repro.browser.topics.manager import TopicsApiCall
+    from repro.crawler.dataset import VisitRecord
+
+
+class CallBuffers:
+    """Flat columns for Topics API call rows (the per-visit call lists).
+
+    Enum-valued fields (``call_type``, ``decision``) are stored as their
+    string values — exactly what ``CallRecord`` carries after
+    ``from_api_call`` — so materialisation is a plain column read.
+    """
+
+    __slots__ = (
+        "caller",
+        "caller_host",
+        "site",
+        "call_type",
+        "at",
+        "decision",
+        "topics_returned",
+    )
+
+    def __init__(self) -> None:
+        self.caller: list[str] = []
+        self.caller_host: list[str] = []
+        self.site: list[str] = []
+        self.call_type: list[str] = []
+        self.at = array("q")
+        self.decision: list[str] = []
+        self.topics_returned = array("q")
+
+    def __len__(self) -> int:
+        return len(self.caller)
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+    def extend(self, other: "CallBuffers") -> None:
+        self.caller.extend(other.caller)
+        self.caller_host.extend(other.caller_host)
+        self.site.extend(other.site)
+        self.call_type.extend(other.call_type)
+        self.at.extend(other.at)
+        self.decision.extend(other.decision)
+        self.topics_returned.extend(other.topics_returned)
+
+
+class VisitBuffers:
+    """Columnar store of visit rows; the crawl data plane's wire format."""
+
+    __slots__ = (
+        "rank",
+        "domain",
+        "final_domain",
+        "url",
+        "final_url",
+        "phase",
+        "banner_present",
+        "banner_language",
+        "accept_clicked",
+        "cmp",
+        "tp_flat",
+        "tp_offsets",
+        "calls",
+        "call_offsets",
+    )
+
+    def __init__(self) -> None:
+        self.rank = array("q")
+        self.domain: list[str] = []
+        self.final_domain: list[str] = []
+        self.url: list[str] = []
+        self.final_url: list[str] = []
+        self.phase: list[str] = []
+        self.banner_present = bytearray()
+        self.banner_language: list[str | None] = []
+        self.accept_clicked = bytearray()
+        self.cmp: list[str | None] = []
+        #: flat third-party column; row i owns tp_offsets[i]:tp_offsets[i+1]
+        self.tp_flat: list[str] = []
+        self.tp_offsets = array("q", (0,))
+        #: flat call columns; row i owns call_offsets[i]:call_offsets[i+1]
+        self.calls = CallBuffers()
+        self.call_offsets = array("q", (0,))
+
+    def __len__(self) -> int:
+        return len(self.rank)
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+    # -- building --------------------------------------------------------------
+
+    def append_visit(
+        self,
+        *,
+        rank: int,
+        domain: str,
+        final_domain: str,
+        url: str,
+        final_url: str,
+        phase: str,
+        banner_present: bool,
+        banner_language: str | None,
+        accept_clicked: bool,
+        cmp: str | None,
+        third_parties: Iterable[str],
+        api_calls: Iterable["TopicsApiCall"] = (),
+    ) -> None:
+        """Append one row straight from live visit state (the hot path).
+
+        ``api_calls`` are the browser's raw ``TopicsApiCall`` objects;
+        their enum fields are flattened to values here, matching what
+        ``CallRecord.from_api_call`` would have produced.
+        """
+        self.rank.append(rank)
+        self.domain.append(domain)
+        self.final_domain.append(final_domain)
+        self.url.append(url)
+        self.final_url.append(final_url)
+        self.phase.append(phase)
+        self.banner_present.append(banner_present)
+        self.banner_language.append(banner_language)
+        self.accept_clicked.append(accept_clicked)
+        self.cmp.append(cmp)
+        self.tp_flat.extend(third_parties)
+        self.tp_offsets.append(len(self.tp_flat))
+        calls = self.calls
+        for call in api_calls:
+            calls.caller.append(call.caller)
+            calls.caller_host.append(call.caller_host)
+            calls.site.append(call.site)
+            calls.call_type.append(call.call_type.value)
+            calls.at.append(call.at)
+            calls.decision.append(call.decision.value)
+            calls.topics_returned.append(call.topics_returned)
+        self.call_offsets.append(len(calls))
+
+    def append_record(self, record: "VisitRecord") -> None:
+        """Append one row from an already-materialised record."""
+        self.rank.append(record.rank)
+        self.domain.append(record.domain)
+        self.final_domain.append(record.final_domain)
+        self.url.append(record.url)
+        self.final_url.append(record.final_url)
+        self.phase.append(record.phase)
+        self.banner_present.append(record.banner_present)
+        self.banner_language.append(record.banner_language)
+        self.accept_clicked.append(record.accept_clicked)
+        self.cmp.append(record.cmp)
+        self.tp_flat.extend(record.third_parties)
+        self.tp_offsets.append(len(self.tp_flat))
+        calls = self.calls
+        for call in record.calls:
+            calls.caller.append(call.caller)
+            calls.caller_host.append(call.caller_host)
+            calls.site.append(call.site)
+            calls.call_type.append(call.call_type)
+            calls.at.append(call.at)
+            calls.decision.append(call.decision)
+            calls.topics_returned.append(call.topics_returned)
+        self.call_offsets.append(len(calls))
+
+    def extend(self, other: "VisitBuffers", rank_offset: int = 0) -> None:
+        """Concatenate ``other``'s rows, optionally rebasing their ranks.
+
+        This is the shard-merge primitive: whole columns splice in O(rows)
+        with no per-record object churn.
+        """
+        if rank_offset:
+            self.rank.extend(rank + rank_offset for rank in other.rank)
+        else:
+            self.rank.extend(other.rank)
+        self.domain.extend(other.domain)
+        self.final_domain.extend(other.final_domain)
+        self.url.extend(other.url)
+        self.final_url.extend(other.final_url)
+        self.phase.extend(other.phase)
+        self.banner_present.extend(other.banner_present)
+        self.banner_language.extend(other.banner_language)
+        self.accept_clicked.extend(other.accept_clicked)
+        self.cmp.extend(other.cmp)
+        self.tp_flat.extend(other.tp_flat)
+        tp_base = self.tp_offsets[-1]
+        self.tp_offsets.extend(tp_base + offset for offset in other.tp_offsets[1:])
+        call_base = self.call_offsets[-1]
+        self.calls.extend(other.calls)
+        self.call_offsets.extend(
+            call_base + offset for offset in other.call_offsets[1:]
+        )
+
+    # -- materialisation -------------------------------------------------------
+
+    def record_at(self, index: int) -> "VisitRecord":
+        """Materialise row ``index`` back into a ``VisitRecord``."""
+        from repro.crawler.dataset import CallRecord, VisitRecord
+
+        calls = self.calls
+        lo, hi = self.call_offsets[index], self.call_offsets[index + 1]
+        call_records = tuple(
+            CallRecord(
+                caller=calls.caller[j],
+                caller_host=calls.caller_host[j],
+                site=calls.site[j],
+                call_type=calls.call_type[j],
+                at=calls.at[j],
+                decision=calls.decision[j],
+                topics_returned=calls.topics_returned[j],
+            )
+            for j in range(lo, hi)
+        )
+        tp_lo, tp_hi = self.tp_offsets[index], self.tp_offsets[index + 1]
+        return VisitRecord(
+            rank=self.rank[index],
+            domain=self.domain[index],
+            final_domain=self.final_domain[index],
+            url=self.url[index],
+            final_url=self.final_url[index],
+            phase=self.phase[index],
+            banner_present=bool(self.banner_present[index]),
+            banner_language=self.banner_language[index],
+            accept_clicked=bool(self.accept_clicked[index]),
+            cmp=self.cmp[index],
+            third_parties=tuple(self.tp_flat[tp_lo:tp_hi]),
+            calls=call_records,
+        )
+
+    def iter_records(self) -> Iterator["VisitRecord"]:
+        for index in range(len(self)):
+            yield self.record_at(index)
+
+    # -- column-native views (aggregate helpers) -------------------------------
+
+    def call_span(self, index: int) -> tuple[int, int]:
+        """Half-open call-column slice owned by row ``index``."""
+        return self.call_offsets[index], self.call_offsets[index + 1]
+
+    def third_parties_at(self, index: int) -> tuple[str, ...]:
+        lo, hi = self.tp_offsets[index], self.tp_offsets[index + 1]
+        return tuple(self.tp_flat[lo:hi])

@@ -6,6 +6,13 @@ Records carry everything the analysis needs — embedded third parties, the
 detected CMP, and every Topics API call with its type and gating outcome —
 and round-trip losslessly through JSONL so campaigns can be archived and
 re-analysed, as the paper's released dataset is.
+
+Storage is columnar: a :class:`Dataset` owns a
+:class:`repro.crawler.columnar.VisitBuffers` and materialises
+:class:`VisitRecord` objects lazily (memoised per row), so the crawl hot
+loop appends plain scalars while every record-oriented consumer
+(analysis, validate, archive, checkpointing) sees the exact objects it
+always did.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from typing import Iterable, Iterator
 from repro.attestation.allowlist import GatingDecision
 from repro.browser.topics.manager import TopicsApiCall
 from repro.browser.topics.types import ApiCallType
+from repro.crawler.columnar import VisitBuffers
 from repro.util.fsio import atomic_write_lines
 from repro.util.timeline import Timestamp
 
@@ -100,76 +108,205 @@ class VisitRecord:
         return cls(**payload)
 
 
+class AmbiguousDomainError(LookupError):
+    """A single-record lookup hit a domain with multiple records.
+
+    Repeat-visit campaigns legitimately produce several records per
+    domain; silently returning one of them (the pre-columnar behaviour)
+    made such analyses quietly wrong.  Call :meth:`Dataset.all_by_domain`
+    when multiple records are expected.
+    """
+
+
 class Dataset:
-    """An append-only collection of visit records with common queries."""
+    """An append-only collection of visit records with common queries.
+
+    A lazy materialisation facade: rows live in columnar
+    :class:`VisitBuffers`; ``VisitRecord`` objects are built on first
+    access per row and memoised, so aggregate-only consumers never pay
+    for record objects at all.
+    """
 
     def __init__(self, name: str, records: Iterable[VisitRecord] = ()) -> None:
         self.name = name
-        self._records: list[VisitRecord] = list(records)
-        self._by_domain: dict[str, VisitRecord] | None = None
+        self._buffers = VisitBuffers()
+        self._memo: list[VisitRecord | None] = []
+        self._domain_rows: dict[str, list[int]] | None = None
+        for record in records:
+            self.add(record)
+
+    @classmethod
+    def from_buffers(cls, name: str, buffers: VisitBuffers) -> "Dataset":
+        """Wrap already-built columns (the shard-result ingest path)."""
+        dataset = cls(name)
+        dataset._buffers = buffers
+        dataset._memo = [None] * len(buffers)
+        return dataset
+
+    @property
+    def buffers(self) -> VisitBuffers:
+        """The underlying columns (shared, not copied)."""
+        return self._buffers
 
     def add(self, record: VisitRecord) -> None:
-        self._records.append(record)
-        self._by_domain = None
+        self._buffers.append_record(record)
+        # The caller's object IS row len-1's materialisation; keep it so
+        # checkpoint-restore round-trips return identical objects.
+        self._memo.append(record)
+        self._domain_rows = None
+
+    def append_visit(
+        self,
+        *,
+        rank: int,
+        domain: str,
+        final_domain: str,
+        url: str,
+        final_url: str,
+        phase: str,
+        banner_present: bool,
+        banner_language: str | None,
+        accept_clicked: bool,
+        cmp: str | None,
+        third_parties: Iterable[str],
+        api_calls: Iterable[TopicsApiCall] = (),
+    ) -> None:
+        """Append one row straight from live visit state — no record object."""
+        self._buffers.append_visit(
+            rank=rank,
+            domain=domain,
+            final_domain=final_domain,
+            url=url,
+            final_url=final_url,
+            phase=phase,
+            banner_present=banner_present,
+            banner_language=banner_language,
+            accept_clicked=accept_clicked,
+            cmp=cmp,
+            third_parties=third_parties,
+            api_calls=api_calls,
+        )
+        self._memo.append(None)
+        self._domain_rows = None
+
+    def extend_rebased(self, other: "Dataset", rank_offset: int) -> None:
+        """Splice another dataset's columns in, rebasing ranks (shard merge)."""
+        self._buffers.extend(other._buffers, rank_offset)
+        if rank_offset:
+            self._memo.extend([None] * len(other._buffers))
+        else:
+            self._memo.extend(other._memo)
+        self._domain_rows = None
+
+    def _record_at(self, index: int) -> VisitRecord:
+        record = self._memo[index]
+        if record is None:
+            record = self._memo[index] = self._buffers.record_at(index)
+        return record
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._buffers)
 
     def __iter__(self) -> Iterator[VisitRecord]:
-        return iter(self._records)
+        for index in range(len(self._buffers)):
+            yield self._record_at(index)
 
     @property
     def records(self) -> tuple[VisitRecord, ...]:
-        return tuple(self._records)
+        return tuple(self)
+
+    def _rows_by_domain(self) -> dict[str, list[int]]:
+        if self._domain_rows is None:
+            rows: dict[str, list[int]] = {}
+            for index, domain in enumerate(self._buffers.domain):
+                rows.setdefault(domain, []).append(index)
+            self._domain_rows = rows
+        return self._domain_rows
 
     def by_domain(self, domain: str) -> VisitRecord | None:
-        if self._by_domain is None:
-            self._by_domain = {record.domain: record for record in self._records}
-        return self._by_domain.get(domain)
+        """The unique record for ``domain``, or None when absent.
+
+        Raises :class:`AmbiguousDomainError` when several records share
+        the domain (repeat-visit campaigns) — use :meth:`all_by_domain`
+        for those.
+        """
+        rows = self._rows_by_domain().get(domain)
+        if rows is None:
+            return None
+        if len(rows) > 1:
+            raise AmbiguousDomainError(
+                f"{len(rows)} records share domain {domain!r} in dataset"
+                f" {self.name!r}; use all_by_domain() for repeat-visit data"
+            )
+        return self._record_at(rows[0])
+
+    def all_by_domain(self, domain: str) -> tuple[VisitRecord, ...]:
+        """Every record for ``domain``, in append order (possibly empty)."""
+        return tuple(
+            self._record_at(index)
+            for index in self._rows_by_domain().get(domain, ())
+        )
 
     # -- common aggregates ---------------------------------------------------------
 
     def site_count(self) -> int:
-        return len(self._records)
+        return len(self._buffers)
 
     def unique_third_parties(self) -> set[str]:
         """Distinct third-party registrable domains observed."""
-        parties: set[str] = set()
-        for record in self._records:
-            parties.update(record.third_parties)
-        return parties
+        return set(self._buffers.tp_flat)
 
     def iter_calls(self) -> Iterator[tuple[VisitRecord, CallRecord]]:
-        for record in self._records:
+        offsets = self._buffers.call_offsets
+        for index in range(len(self._buffers)):
+            if offsets[index] == offsets[index + 1]:
+                continue
+            record = self._record_at(index)
             for call in record.calls:
                 yield record, call
 
     def calling_parties(self) -> set[str]:
         """Distinct CPs (caller registrable domains) across all calls."""
-        return {call.caller for _, call in self.iter_calls()}
+        return set(self._buffers.calls.caller)
 
     def sites_with_calls(self) -> set[str]:
-        return {record.domain for record in self._records if record.calls}
+        buffers = self._buffers
+        offsets = buffers.call_offsets
+        return {
+            buffers.domain[index]
+            for index in range(len(buffers))
+            if offsets[index] != offsets[index + 1]
+        }
 
     def presence_of(self, party: str) -> set[str]:
         """Sites on which ``party`` appears among loaded third parties."""
-        return {
-            record.domain
-            for record in self._records
-            if party in record.third_parties
-        }
+        buffers = self._buffers
+        offsets = buffers.tp_offsets
+        flat = buffers.tp_flat
+        present: set[str] = set()
+        for index in range(len(buffers)):
+            for position in range(offsets[index], offsets[index + 1]):
+                if flat[position] == party:
+                    present.add(buffers.domain[index])
+                    break
+        return present
 
     def callers_by_site_count(self) -> dict[str, int]:
         """CP → number of distinct sites where it called."""
+        buffers = self._buffers
+        offsets = buffers.call_offsets
+        callers = buffers.calls.caller
         sites: dict[str, set[str]] = {}
-        for record, call in self.iter_calls():
-            sites.setdefault(call.caller, set()).add(record.domain)
+        for index in range(len(buffers)):
+            domain = buffers.domain[index]
+            for position in range(offsets[index], offsets[index + 1]):
+                sites.setdefault(callers[position], set()).add(domain)
         return {caller: len(site_set) for caller, site_set in sites.items()}
 
     # -- persistence ---------------------------------------------------------------
 
     def to_jsonl(self, path: str | Path) -> None:
-        atomic_write_lines(path, (record.to_json() for record in self._records))
+        atomic_write_lines(path, (record.to_json() for record in self))
 
     @classmethod
     def from_jsonl(cls, name: str, path: str | Path) -> "Dataset":

@@ -53,7 +53,8 @@ from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 from repro.crawler.campaign import CrawlCampaign, CrawlReport, CrawlResult
 from repro.crawler.checkpoint import CheckpointStore, RetryPolicy
-from repro.crawler.dataset import Dataset, VisitRecord
+from repro.crawler.columnar import VisitBuffers
+from repro.crawler.dataset import Dataset
 from repro.crawler.wellknown import AttestationSurvey
 from repro.obs import (
     EventKind,
@@ -527,6 +528,11 @@ class ShardTask:
 class ShardResult:
     """A shard's outcome as plain, picklable data.
 
+    Datasets travel as flat :class:`VisitBuffers` columns rather than
+    record-object trees: a worker's result pickles as a handful of
+    primitive arrays/lists, and the parent ingests them without ever
+    materialising per-visit objects.
+
     ``events``/``metrics``/``spans`` are ``None`` when the corresponding
     instrumentation was disabled for the run.  Trace events keep their
     shard-local order (the merge's ``(at, shard, seq)`` sort only needs
@@ -535,8 +541,8 @@ class ShardResult:
     """
 
     shard_index: int
-    d_ba: tuple[VisitRecord, ...]
-    d_aa: tuple[VisitRecord, ...]
+    d_ba: VisitBuffers
+    d_aa: VisitBuffers
     report: CrawlReport | None
     allowed_domains: frozenset[str]
     events: tuple[TraceEvent, ...] | None
@@ -558,8 +564,8 @@ def result_from_outcome(
     result = outcome.result
     return ShardResult(
         shard_index=shard_index,
-        d_ba=result.d_ba.records,
-        d_aa=result.d_aa.records,
+        d_ba=result.d_ba.buffers,
+        d_aa=result.d_aa.buffers,
         report=result.report,
         allowed_domains=result.allowed_domains,
         events=tuple(outcome.tracer) if outcome.tracer.enabled else None,
@@ -604,8 +610,8 @@ def outcome_from_result(
                 span_listener(span)
     return ShardOutcome(
         result=CrawlResult(
-            d_ba=Dataset("D_BA", result.d_ba),
-            d_aa=Dataset("D_AA", result.d_aa),
+            d_ba=Dataset.from_buffers("D_BA", result.d_ba),
+            d_aa=Dataset.from_buffers("D_AA", result.d_aa),
             report=result.report,
             allowed_domains=result.allowed_domains,
             survey=AttestationSurvey(()),
@@ -651,8 +657,8 @@ def run_shard_task(task: ShardTask) -> ShardResult:
     if execution.outcome is None:
         return ShardResult(
             shard_index=task.plan.shard_index,
-            d_ba=(),
-            d_aa=(),
+            d_ba=VisitBuffers(),
+            d_aa=VisitBuffers(),
             report=None,
             allowed_domains=frozenset(),
             events=None,

@@ -190,10 +190,10 @@ class ShardedCrawl:
 
         for position, (plan, outcome) in enumerate(zip(plans, outcomes)):
             result = outcome.result
-            for record in result.d_ba:
-                merged_ba.add(_rebase_rank(record, plan.rank_offset))
-            for record in result.d_aa:
-                merged_aa.add(_rebase_rank(record, plan.rank_offset))
+            # Whole-column splice with the rank rebase applied in bulk —
+            # the merge never touches per-record objects.
+            merged_ba.extend_rebased(result.d_ba, plan.rank_offset)
+            merged_aa.extend_rebased(result.d_aa, plan.rank_offset)
             report.targets += result.report.targets
             report.ok += result.report.ok
             report.failed += result.report.failed
@@ -321,9 +321,3 @@ class ShardedCrawl:
                 span, parent_id=parent
             )
         return root_id
-
-
-def _rebase_rank(record, offset: int):
-    from dataclasses import replace
-
-    return replace(record, rank=record.rank + offset)

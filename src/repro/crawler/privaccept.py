@@ -62,6 +62,11 @@ class PrivAccept:
             if negative_keywords is not None
             else dict(NEGATIVE_KEYWORDS)
         )
+        # Button labels repeat heavily across generated pages, and a
+        # label's verdict is a pure function of the (fixed) keyword
+        # tables — memoise per label text.
+        self._negative_memo: dict[str, bool] = {}
+        self._accept_memo: dict[str, tuple[str, str] | None] = {}
 
     @property
     def supported_languages(self) -> tuple[str, ...]:
@@ -69,10 +74,26 @@ class PrivAccept:
 
     def is_negative(self, button_text: str) -> bool:
         """Whether a button is reject/settings furniture to be skipped."""
-        return any(
-            contains_keyword(button_text, list(keywords)) is not None
-            for keywords in self._negative.values()
-        )
+        verdict = self._negative_memo.get(button_text)
+        if verdict is None:
+            verdict = self._negative_memo[button_text] = any(
+                contains_keyword(button_text, list(keywords)) is not None
+                for keywords in self._negative.values()
+            )
+        return verdict
+
+    def _accept_match(self, button_text: str) -> tuple[str, str] | None:
+        """The (keyword, language) an accept-button label matches, if any."""
+        if button_text in self._accept_memo:
+            return self._accept_memo[button_text]
+        match: tuple[str, str] | None = None
+        for language, keywords in self._keywords.items():
+            matched = contains_keyword(button_text, list(keywords))
+            if matched is not None:
+                match = (matched, language)
+                break
+        self._accept_memo[button_text] = match
+        return match
 
     def detect_and_accept(self, banner: ConsentBanner | None) -> BannerDetection:
         """Scan a page's banner (if any) and try to click accept.
@@ -89,15 +110,15 @@ class PrivAccept:
         for button_text in banner.buttons():
             if self.is_negative(button_text):
                 continue
-            for language, keywords in self._keywords.items():
-                matched = contains_keyword(button_text, list(keywords))
-                if matched is not None:
-                    return BannerDetection(
-                        banner_found=True,
-                        accept_clicked=True,
-                        matched_keyword=matched,
-                        matched_language=language,
-                    )
+            match = self._accept_match(button_text)
+            if match is not None:
+                matched, language = match
+                return BannerDetection(
+                    banner_found=True,
+                    accept_clicked=True,
+                    matched_keyword=matched,
+                    matched_language=language,
+                )
         return BannerDetection(banner_found=True, accept_clicked=False)
 
     def measure_accuracy(self, banners: list[ConsentBanner]) -> float:
@@ -128,13 +149,13 @@ class PrivAccept:
         for label in labels:
             if self.is_negative(label):
                 continue
-            for language, keywords in self._keywords.items():
-                matched = contains_keyword(label, list(keywords))
-                if matched is not None:
-                    return BannerDetection(
-                        banner_found=True,
-                        accept_clicked=True,
-                        matched_keyword=matched,
-                        matched_language=language,
-                    )
+            match = self._accept_match(label)
+            if match is not None:
+                matched, language = match
+                return BannerDetection(
+                    banner_found=True,
+                    accept_clicked=True,
+                    matched_keyword=matched,
+                    matched_language=language,
+                )
         return BannerDetection(banner_found=True, accept_clicked=False)

@@ -14,6 +14,7 @@ import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
+from weakref import WeakKeyDictionary
 
 from repro.attestation.wellknown import (
     AttestationValidationError,
@@ -105,8 +106,34 @@ class AttestationSurvey:
         return cls(probes)
 
 
+#: Probe results keyed by registry: a probe is a pure function of the
+#: (immutable) enrolment registry, the domain and the schema era — the
+#: served payload varies with ``now`` only through the migration-date
+#: comparison — so repeated surveys over one world (shard merges,
+#: repeated campaigns) reuse their probes instead of re-serialising and
+#: re-validating the same attestation files.  Weak keys let a discarded
+#: world's registry take its probe cache with it.
+_PROBE_CACHES: "WeakKeyDictionary[object, dict[tuple[str, bool], AttestationProbe]]" = (
+    WeakKeyDictionary()
+)
+
+
 def probe_domain(world: "SyntheticWeb", domain: str, now: Timestamp) -> AttestationProbe:
     """Fetch and validate one domain's attestation file."""
+    registry = world.registry
+    cache = _PROBE_CACHES.get(registry)
+    if cache is None:
+        cache = _PROBE_CACHES[registry] = {}
+    key = (domain, registry.migrated(now))
+    probe = cache.get(key)
+    if probe is None:
+        probe = cache[key] = _probe_uncached(world, domain, now)
+    return probe
+
+
+def _probe_uncached(
+    world: "SyntheticWeb", domain: str, now: Timestamp
+) -> AttestationProbe:
     payload = world.well_known_payload(domain, now)
     if payload is None:
         return AttestationProbe(domain=domain, served=False, valid=False)

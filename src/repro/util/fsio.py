@@ -55,8 +55,10 @@ class BufferedLineWriter:
     underlying handle in a single call.  Not thread-safe; exports are
     single-writer by construction.
 
-    Usable as a context manager; exiting flushes the remaining batch
-    (the underlying handle is NOT closed — the caller owns it).
+    Usable as a context manager; a clean exit flushes the remaining
+    batch, while exiting on an exception *discards* it — a failed export
+    must not append a torn trailing batch to the file.  The underlying
+    handle is NOT closed either way — the caller owns it.
     """
 
     def __init__(self, handle, batch_size: int = 1024) -> None:
@@ -83,4 +85,10 @@ class BufferedLineWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # The export failed mid-stream: the queued lines never made it
+            # to the handle and writing them now would fabricate a partial
+            # batch after the failure point.  Drop them with the export.
+            self._pending.clear()
+            return
         self.flush()

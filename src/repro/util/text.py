@@ -62,11 +62,11 @@ def stable_digest(*parts: str) -> int:
     Unlike ``hash()``, this never varies across runs, so classifier
     decisions keyed on hostnames are reproducible.
     """
-    hasher = hashlib.sha256()
-    for part in parts:
-        hasher.update(part.encode("utf-8"))
-        hasher.update(b"\x00")
-    return int.from_bytes(hasher.digest()[:8], "big")
+    # One C-level hash call over the same byte stream the incremental
+    # update loop fed (each part NUL-terminated) — this sits under every
+    # per-(caller, site) decision on the crawl hot path.
+    payload = b"".join(part.encode("utf-8") + b"\x00" for part in parts)
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
 
 
 def synthesize_name(index: int, salt: str = "") -> str:

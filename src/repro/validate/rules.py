@@ -430,11 +430,15 @@ def _fraction_bounds(a: CrawlArtifacts) -> Iterator:
     )
     sites = {record.domain for record, _ in anomalous}
     if sites:
+        # all_by_domain: repeat-visit campaigns hold several records per
+        # domain, and GTM presence on any of them counts the site.
         gtm_sites = sum(
             1
             for domain in sites
-            if (record := result.d_aa.by_domain(domain)) is not None
-            and "googletagmanager.com" in record.third_parties
+            if any(
+                "googletagmanager.com" in record.third_parties
+                for record in result.d_aa.all_by_domain(domain)
+            )
         )
         yield from check("gtm_site_fraction", gtm_sites / len(sites))
     if anomalous:

@@ -62,6 +62,11 @@ class CmpCatalogue:
         self._providers = providers
         self._by_name = {p.name: p for p in providers}
         self._by_domain = {etld_plus_one(p.domain): p for p in providers}
+        #: registrable domain -> catalogue index, for first-provider-wins
+        #: detection as a min() over dict hits instead of a catalogue scan.
+        self._detect_index = {
+            etld_plus_one(p.domain): i for i, p in enumerate(providers)
+        }
         if len(self._by_name) != len(providers):
             raise ValueError("duplicate CMP names in catalogue")
         if len(self._by_domain) != len(providers):
@@ -86,8 +91,21 @@ class CmpCatalogue:
         from; the first catalogue provider whose serving domain appears
         wins (pages practically never deploy two CMPs).
         """
-        registrables = {etld_plus_one(d) for d in loaded_domains}
-        for provider in self._providers:
-            if etld_plus_one(provider.domain) in registrables:
-                return provider.name
-        return None
+        index = self._detect_index
+        best: int | None = None
+        for domain in loaded_domains:
+            hit = index.get(etld_plus_one(domain))
+            if hit is not None and (best is None or hit < best):
+                best = hit
+        return self._providers[best].name if best is not None else None
+
+    def detect_from_registrables(self, registrables: set[str]) -> str | None:
+        """As :meth:`detect_from_domains`, for callers that already hold
+        registrable domains (skips the per-host eTLD+1 step)."""
+        index = self._detect_index
+        best: int | None = None
+        for domain in registrables:
+            hit = index.get(domain)
+            if hit is not None and (best is None or hit < best):
+                best = hit
+        return self._providers[best].name if best is not None else None

@@ -57,11 +57,31 @@ class SyntheticWeb:
     cmps: CmpCatalogue
     tranco: TrancoList
     _sites_by_domain: dict[str, Website] = field(default_factory=dict, repr=False)
+    #: lazily built per-script-origin-mode VisitPlanner cache (see
+    #: repro.browser.plan); shared by every browser over this world
+    _planners: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self._sites_by_domain:
             self._sites_by_domain = {site.domain: site for site in self.websites}
             self._sites_by_domain.update(self.shadow_sites)
+
+    def visit_planner(self, script_origin_mode):
+        """The shared cache of precomputed visit plans for this world.
+
+        One planner per script-origin mode; each builds a static
+        :class:`repro.browser.plan.SitePlan` per (domain, consent)
+        variant on first use.  Worlds are immutable after generation, so
+        the plans stay valid for the world's lifetime.
+        """
+        planner = self._planners.get(script_origin_mode)
+        if planner is None:
+            from repro.browser.plan import VisitPlanner
+
+            planner = self._planners.setdefault(
+                script_origin_mode, VisitPlanner(self, script_origin_mode)
+            )
+        return planner
 
     # -- site lookups ----------------------------------------------------------
 

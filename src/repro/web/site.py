@@ -185,13 +185,18 @@ class Website:
         # on the redirect target's own page, not here.
 
 
+#: Script path per category (module-level: ``_script_path`` sits on the
+#: page-construction hot path, one lookup per embedded tag).
+SCRIPT_PATHS: dict[ThirdPartyCategory, str] = {
+    ThirdPartyCategory.ADS: "/tag/ads.js",
+    ThirdPartyCategory.ANALYTICS: "/collect/analytics.js",
+    ThirdPartyCategory.TAG_MANAGER: "/gtm.js",
+    ThirdPartyCategory.CMP: "/cmp/stub.js",
+    ThirdPartyCategory.CDN: "/lib/bundle.js",
+    ThirdPartyCategory.SOCIAL: "/widgets/social.js",
+    ThirdPartyCategory.WIDGET: "/widget/embed.js",
+}
+
+
 def _script_path(category: ThirdPartyCategory) -> str:
-    return {
-        ThirdPartyCategory.ADS: "/tag/ads.js",
-        ThirdPartyCategory.ANALYTICS: "/collect/analytics.js",
-        ThirdPartyCategory.TAG_MANAGER: "/gtm.js",
-        ThirdPartyCategory.CMP: "/cmp/stub.js",
-        ThirdPartyCategory.CDN: "/lib/bundle.js",
-        ThirdPartyCategory.SOCIAL: "/widgets/social.js",
-        ThirdPartyCategory.WIDGET: "/widget/embed.js",
-    }[category]
+    return SCRIPT_PATHS[category]

@@ -6,6 +6,7 @@ from repro.attestation.allowlist import GatingDecision
 from repro.browser.topics.manager import TopicsApiCall
 from repro.browser.topics.types import ApiCallType
 from repro.crawler.dataset import (
+    AmbiguousDomainError,
     CallRecord,
     Dataset,
     PHASE_AFTER,
@@ -141,6 +142,24 @@ class TestDataset:
         assert dataset.by_domain("new.com") is None
         dataset.add(make_record("new.com"))
         assert dataset.by_domain("new.com") is not None
+
+    def test_by_domain_ambiguous_raises(self, dataset):
+        """Regression: repeat-visit campaigns put several records under
+        one domain; silently returning the first made analyses quietly
+        wrong.  The single-record lookup now refuses to guess."""
+        dataset.add(make_record("b.com", phase=PHASE_AFTER))
+        with pytest.raises(AmbiguousDomainError, match="b.com"):
+            dataset.by_domain("b.com")
+        # Unambiguous domains keep working through the same index.
+        assert dataset.by_domain("a.com").domain == "a.com"
+
+    def test_all_by_domain_returns_every_record_in_order(self, dataset):
+        repeat = make_record("b.com", phase=PHASE_AFTER)
+        dataset.add(repeat)
+        records = dataset.all_by_domain("b.com")
+        assert len(records) == 2
+        assert [r.phase for r in records] == [PHASE_BEFORE, PHASE_AFTER]
+        assert dataset.all_by_domain("zzz.com") == ()
 
     def test_iter_calls(self, dataset):
         pairs = list(dataset.iter_calls())

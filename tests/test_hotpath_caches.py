@@ -77,8 +77,33 @@ class TestPSLMemoization:
             assert (
                 psl.registrable_domain(f"www.site{index}.com") == f"site{index}.com"
             )
-        assert len(psl._cache) <= 4
+        assert len(psl._cache) + len(psl._stale) <= 4
         assert psl.registrable_domain("www.site0.com") == "site0.com"
+
+    def test_hot_entries_survive_crossing_the_limit(self):
+        """Regression: crossing the cache limit used to drop the whole
+        dict, cold-starting every hot caller at once.  With segmented
+        eviction, an entry touched at least once per generation is
+        promoted before its generation dies — it must never be
+        recomputed while one-shot hostnames stream past."""
+        psl = PublicSuffixList(cache_limit=8)
+        hot = "bid.criteo.co.uk"
+        psl.registrable_domain(hot)
+        for index in range(100):
+            # Interleave the hot lookup with a stream of one-shot
+            # hostnames that forces many generation turnovers.
+            psl.registrable_domain(f"www.oneshot{index}.com")
+            psl.registrable_domain(hot)
+            assert hot in psl._cache or hot in psl._stale
+        assert psl.registrable_domain(hot) == "criteo.co.uk"
+
+    def test_one_shot_entries_age_out(self):
+        psl = PublicSuffixList(cache_limit=8)
+        psl.registrable_domain("www.oneshot.com")
+        for index in range(50):  # never touched again → evicted
+            psl.registrable_domain(f"www.filler{index}.com")
+        assert "www.oneshot.com" not in psl._cache
+        assert "www.oneshot.com" not in psl._stale
 
     def test_bare_suffix_fallback_preserved(self):
         psl = PublicSuffixList()
@@ -172,6 +197,28 @@ class TestBufferedLineWriter:
     def test_invalid_batch_size_rejected(self):
         with pytest.raises(ValueError):
             BufferedLineWriter(io.StringIO(), batch_size=0)
+
+    def test_aborted_export_leaves_no_partial_batch(self):
+        """Regression: ``__exit__`` used to flush pending lines even when
+        an exception was propagating, appending a torn trailing batch to
+        the file a failed export leaves behind."""
+        handle = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with BufferedLineWriter(handle, batch_size=100) as writer:
+                for index in range(250):  # two full batches reach the handle
+                    writer.write_line(str(index))
+                raise RuntimeError("export died mid-stream")
+        written = handle.getvalue().splitlines()
+        # Only the complete batches written before the failure survive;
+        # the 50 queued lines are discarded with the export.
+        assert written == [str(index) for index in range(200)]
+
+    def test_aborted_export_with_empty_queue_is_clean(self):
+        handle = io.StringIO()
+        with pytest.raises(ValueError):
+            with BufferedLineWriter(handle, batch_size=10):
+                raise ValueError("nothing queued yet")
+        assert handle.getvalue() == ""
 
     def test_tracer_export_roundtrips_through_buffer(self, tmp_path):
         tracer = Tracer()
