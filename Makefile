@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint validate bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar ci study experiments examples clean
+.PHONY: install test lint validate report bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -68,6 +68,19 @@ bench-smoke:
 validate:
 	PYTHONPATH=src $(PY) -m repro validate --metamorphic \
 		--sites 500 --shard-counts 1,2,3,5 --backends serial,thread,process
+
+# Report portal: crawl a reduced-scale instrumented campaign, render
+# the static HTML site, and verify it is self-contained (the same run
+# CI's report job performs).
+report:
+	PYTHONPATH=src $(PY) -m repro crawl --sites 1000 --out report-archive \
+		--shards 4 --checkpoint-dir report-archive/checkpoints \
+		--checkpoint-every 100 \
+		--trace-out report-archive/trace.jsonl \
+		--metrics-out report-archive/metrics.json \
+		--span-out report-archive/spans.jsonl
+	PYTHONPATH=src $(PY) -m repro report report-archive
+	$(PY) scripts/check_report_links.py report-archive/report
 
 # Mirror of .github/workflows/ci.yml: lint, tier-1 suite, bench smoke,
 # metamorphic validation.

@@ -21,13 +21,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+# CI invokes this script without PYTHONPATH=src, so make the package
+# importable before reaching for repro.util.fsio.
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.util.fsio import atomic_write_lines  # noqa: E402
+
 #: Default location of the committed baseline, relative to the repo root.
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / (
-    "baseline_visits_per_second.json"
-)
+BASELINE_PATH = _REPO_ROOT / "benchmarks" / "baseline_visits_per_second.json"
+
+#: Append-only trajectory consumed by the report portal's bench page.
+HISTORY_PATH = _REPO_ROOT / "benchmarks" / "history.jsonl"
 
 #: Benchmarks gated on their recorded visits/sec (the columnar data
 #: plane's acceptance metric).  Names match pytest-benchmark's ``name``.
@@ -47,6 +56,36 @@ def visits_per_second(results: dict) -> dict[str, float]:
     return rates
 
 
+def append_history(
+    history_path: Path, measured: dict[str, float], baseline: dict
+) -> int:
+    """Append one record per measured benchmark to the history file.
+
+    The whole file is rewritten atomically (read, extend, rename) via
+    :func:`repro.util.fsio.atomic_write_lines`, so a crash mid-append
+    can never leave a torn line for the report portal to choke on.
+    Returns the number of records appended.
+    """
+    lines: list[str] = []
+    if history_path.exists():
+        lines = [
+            line
+            for line in history_path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+    for name, rate in sorted(measured.items()):
+        record = {
+            "benchmark": name,
+            "visits_per_second": round(rate, 3),
+            "baseline": baseline.get(name),
+            "commit": os.environ.get("GITHUB_SHA") or None,
+        }
+        lines.append(json.dumps(record, sort_keys=True))
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_lines(history_path, lines)
+    return len(measured)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
@@ -55,6 +94,18 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=BASELINE_PATH,
         help=f"baseline JSON (default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=HISTORY_PATH,
+        help="append visits/sec records to this JSONL trajectory "
+        f"(default: {HISTORY_PATH})",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending to the bench-history trajectory",
     )
     parser.add_argument(
         "--max-regression",
@@ -85,9 +136,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline updated: {args.baseline}")
         for name, rate in sorted(measured.items()):
             print(f"  {name}: {rate:,.0f} visits/sec")
+        if not args.no_history:
+            append_history(args.history, measured, measured)
+            print(f"history appended: {args.history}")
         return 0
 
     baseline = json.loads(args.baseline.read_text())
+    if not args.no_history:
+        appended = append_history(args.history, measured, baseline)
+        print(f"history appended ({appended} record(s)): {args.history}")
     failures = []
     for name, rate in sorted(measured.items()):
         reference = baseline.get(name)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Verify a rendered report portal is genuinely self-contained.
+
+Walks every HTML file in the site directory, collects each ``href`` and
+``src``, and fails the run when any reference either points at an
+external URL (the portal promises zero network fetches) or names a file
+that does not resolve inside the site directory.  Fragment-only links
+(``#section``) and ``data:`` URIs are allowed.
+
+    python scripts/check_report_links.py <site-dir>
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from html.parser import HTMLParser
+from pathlib import Path
+from urllib.parse import urlparse
+
+#: Schemes that imply a network fetch and therefore fail the check.
+_EXTERNAL_SCHEMES = ("http", "https", "ftp", "//")
+
+#: Attributes that reference other resources.
+_REF_ATTRS = ("href", "src", "xlink:href", "poster", "data")
+
+
+class _RefCollector(HTMLParser):
+    """Collects every resource reference in one HTML document."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.refs: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        for name, value in attrs:
+            if name in _REF_ATTRS and value:
+                self.refs.append(value)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Problems found in one HTML file (empty list means clean)."""
+    collector = _RefCollector()
+    collector.feed(path.read_text(encoding="utf-8"))
+    problems = []
+    for ref in collector.refs:
+        if ref.startswith("#") or ref.startswith("data:"):
+            continue
+        parsed = urlparse(ref)
+        if parsed.scheme in _EXTERNAL_SCHEMES or ref.startswith("//"):
+            problems.append(f"{path.name}: external reference {ref!r}")
+            continue
+        if parsed.scheme:  # mailto:, javascript:, anything non-file
+            problems.append(f"{path.name}: non-local scheme {ref!r}")
+            continue
+        target = (path.parent / parsed.path).resolve()
+        if not target.is_relative_to(root.resolve()):
+            problems.append(f"{path.name}: reference escapes site dir {ref!r}")
+        elif not target.exists():
+            problems.append(f"{path.name}: broken reference {ref!r}")
+    return problems
+
+
+def check_site(root: str | Path) -> list[str]:
+    """All problems across every HTML page under ``root``."""
+    root = Path(root)
+    pages = sorted(root.rglob("*.html"))
+    if not pages:
+        return [f"{root}: no HTML pages found"]
+    problems = []
+    for page in pages:
+        problems.extend(check_file(page, root))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("site", type=Path, help="rendered report directory")
+    args = parser.parse_args(argv)
+
+    problems = check_site(args.site)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    pages = len(list(Path(args.site).rglob("*.html")))
+    print(f"ok: {pages} page(s) self-contained, every reference resolves")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,210 @@
+"""Structured (JSON-ready) payloads for every paper table and figure.
+
+The renderers in :mod:`repro.analysis.report` go straight from analysis
+dataclasses to fixed-width text — fine for terminals, opaque to anything
+else.  This module exposes the same rows as plain dicts of built-in
+types, which is what the report portal (:mod:`repro.report`), exporters,
+and cross-campaign diff tools consume.  Every function is deterministic:
+rows keep the analysis ordering and dict keys are stable literals.
+
+:func:`campaign_figures` computes the full set from one
+:class:`~repro.crawler.campaign.CrawlResult`, the bundle an archive
+reloads — so figures regenerate from artefacts alone, long after the
+crawl.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.abtest import EnabledRate, figure3
+from repro.analysis.anomalous import AnomalousReport, analyze_anomalous
+from repro.analysis.classify import Table1, build_table1
+from repro.analysis.cmp_analysis import (
+    CmpRow,
+    average_questionable_rate,
+    figure7,
+)
+from repro.analysis.dataset_stats import DatasetStats, compute_stats
+from repro.analysis.enrollment import EnrollmentTimeline, enrollment_timeline
+from repro.analysis.pervasiveness import (
+    CpPresence,
+    figure2,
+    share_of_sites_with_call,
+)
+from repro.analysis.questionable import (
+    QuestionableByRegion,
+    QuestionableCp,
+    figure5,
+    figure6,
+)
+from repro.crawler.campaign import CrawlResult
+from repro.web.cmp import CmpCatalogue
+from repro.web.entities import EntityDatabase
+from repro.web.tlds import Region
+
+
+def stats_data(stats: DatasetStats) -> dict:
+    """The §2.4 campaign summary as a flat dict."""
+    return {
+        "targets": stats.targets,
+        "ok": stats.ok,
+        "failed": stats.failed,
+        "failure_kinds": dict(sorted(stats.failure_kinds.items())),
+        "banners_seen": stats.banners_seen,
+        "accepted": stats.accepted,
+        "accept_rate": stats.accept_rate,
+        "banner_rate": stats.banner_rate,
+        "first_parties": stats.first_parties,
+        "unique_third_parties_ba": stats.unique_third_parties_ba,
+        "unique_third_parties_aa": stats.unique_third_parties_aa,
+        "banner_languages": dict(sorted(stats.banner_languages.items())),
+        "region_counts_ba": {
+            str(region): count
+            for region, count in sorted(
+                stats.region_counts_ba.items(), key=lambda kv: str(kv[0])
+            )
+        },
+        "region_counts_aa": {
+            str(region): count
+            for region, count in sorted(
+                stats.region_counts_aa.items(), key=lambda kv: str(kv[0])
+            )
+        },
+    }
+
+
+def table1_data(table: Table1) -> dict:
+    """Table 1 as labelled rows plus the flagged-caller annotation."""
+    return {
+        "rows": [
+            {"section": section, "label": label, "count": count}
+            for section, label, count in table.as_rows()
+        ],
+        "aa_not_allowed_attested_callers": list(
+            table.aa_not_allowed_attested_callers
+        ),
+    }
+
+
+def figure2_data(rows: list[CpPresence]) -> list[dict]:
+    """Figure 2 bar pairs: presence vs calls per legitimate CP."""
+    return [
+        {
+            "caller": row.caller,
+            "present_on": row.present_on,
+            "called_on": row.called_on,
+            "call_share": row.call_share,
+        }
+        for row in rows
+    ]
+
+
+def figure3_data(rows: list[EnabledRate]) -> list[dict]:
+    """Figure 3 bars: enabled percentage per CP."""
+    return [
+        {
+            "caller": row.caller,
+            "present_on": row.present_on,
+            "called_on": row.called_on,
+            "enabled_percent": row.enabled_percent,
+        }
+        for row in rows
+    ]
+
+
+def figure5_data(rows: list[QuestionableCp]) -> list[dict]:
+    """Figure 5 bars: websites with a questionable call per CP."""
+    return [{"caller": row.caller, "websites": row.websites} for row in rows]
+
+
+def figure6_data(rows: list[QuestionableByRegion]) -> list[dict]:
+    """Figure 6 matrix: per-region presence / calls / enabled %."""
+    return [
+        {
+            "caller": row.caller,
+            "regions": {
+                str(region): {
+                    "present": row.present.get(region, 0),
+                    "called": row.called.get(region, 0),
+                    "enabled_percent": row.enabled_percent(region),
+                }
+                for region in Region
+            },
+        }
+        for row in rows
+    ]
+
+
+def figure7_data(rows: list[CmpRow]) -> dict:
+    """Figure 7 probability pairs plus the questionable-rate baseline."""
+    return {
+        "rows": [
+            {
+                "name": row.name,
+                "sites_total": row.sites_total,
+                "sites_questionable": row.sites_questionable,
+                "p_cmp": row.p_cmp,
+                "p_cmp_given_questionable": row.p_cmp_given_questionable,
+                "p_questionable_given_cmp": row.p_questionable_given_cmp,
+                "lift": row.lift,
+            }
+            for row in rows
+        ],
+        "average_questionable_rate": average_questionable_rate(rows),
+    }
+
+
+def anomalous_data(report: AnomalousReport) -> dict:
+    """The §4 anomalous-usage breakdown."""
+    return {
+        "total_calls": report.total_calls,
+        "distinct_callers": report.distinct_callers,
+        "affected_sites": report.affected_sites,
+        "javascript_fraction": report.javascript_fraction,
+        "gtm_site_fraction": report.gtm_site_fraction,
+        "attribution_counts": dict(sorted(report.attribution_counts.items())),
+        "call_type_counts": dict(sorted(report.call_type_counts.items())),
+    }
+
+
+def enrollment_data(timeline: EnrollmentTimeline) -> dict:
+    """The §3 enrolment timeline, months sorted chronologically."""
+    return {
+        "first_date": str(timeline.first_date) if timeline.first_date else None,
+        "last_date": str(timeline.last_date) if timeline.last_date else None,
+        "total": timeline.total,
+        "mean_per_month": timeline.mean_per_month,
+        "monthly_counts": dict(sorted(timeline.monthly_counts.items())),
+    }
+
+
+def campaign_figures(
+    result: CrawlResult,
+    catalogue: CmpCatalogue | None = None,
+    entities: EntityDatabase | None = None,
+    top: int = 15,
+) -> dict:
+    """Every table and figure of one campaign, as one structured payload.
+
+    Works from archive contents alone: ``catalogue`` and ``entities``
+    default to the bundled well-known sets (the same defaults the
+    analyses use), so a reloaded campaign needs no world object.
+    """
+    entities = entities if entities is not None else EntityDatabase()
+    d_ba, d_aa = result.d_ba, result.d_aa
+    allowed, survey = result.allowed_domains, result.survey
+    return {
+        "stats": stats_data(compute_stats(result)),
+        "table1": table1_data(build_table1(d_ba, d_aa, allowed, survey)),
+        "figure2": figure2_data(figure2(d_aa, allowed, survey, top=top)),
+        "call_share_of_sites": share_of_sites_with_call(d_aa),
+        "figure3": figure3_data(figure3(d_aa, allowed, survey, top=top)),
+        "figure5": figure5_data(figure5(d_ba, allowed, survey, top=top)),
+        "figure6": figure6_data(figure6(d_ba, allowed, survey)),
+        "figure7": figure7_data(
+            figure7(d_ba, allowed, survey, catalogue=catalogue)
+        ),
+        "anomalous": anomalous_data(
+            analyze_anomalous(d_aa, allowed, survey, entities)
+        ),
+        "enrollment": enrollment_data(enrollment_timeline(survey)),
+    }

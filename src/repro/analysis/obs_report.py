@@ -18,9 +18,10 @@ Two consumers of :class:`repro.obs.MetricsSnapshot`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.obs.metrics import MetricsSnapshot, format_series
-from repro.obs.tracer import TraceMeta
+from repro.obs.tracer import TraceMeta, Tracer
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,66 @@ def build_metrics_report(snapshot: MetricsSnapshot) -> MetricsReport:
         shard_visits=_per_shard(snapshot, "shard_visits"),
         shard_durations=_per_shard(snapshot, "shard_duration_seconds"),
     )
+
+
+def load_snapshot(path: str | Path | None) -> MetricsSnapshot | None:
+    """Load a metrics snapshot, tolerating absent artefacts.
+
+    Returns ``None`` when ``path`` is ``None``, the file does not exist,
+    or it is empty — the cases an uninstrumented (or interrupted)
+    campaign leaves behind.  A file that exists but holds malformed JSON
+    still raises: that is corruption, not a missing artefact.
+    """
+    if path is None:
+        return None
+    path = Path(path)
+    if not path.exists() or path.stat().st_size == 0:
+        return None
+    return MetricsSnapshot.load(path)
+
+
+def render_metrics_section(snapshot: MetricsSnapshot | None) -> str:
+    """The metrics report, or an explicit note when nothing was captured.
+
+    Operators diffing two campaign outputs need to see *that* metrics
+    were absent, not a crash — so the missing-artefact case renders a
+    section of its own instead of raising.
+    """
+    if snapshot is None or (
+        not snapshot.counters and not snapshot.gauges and not snapshot.histograms
+    ):
+        return (
+            "Campaign metrics\n"
+            "  not captured (no metrics snapshot was exported; "
+            "re-run with --metrics-out)"
+        )
+    return render_metrics_report(build_metrics_report(snapshot))
+
+
+def load_trace_meta(path: str | Path | None) -> tuple[bool, TraceMeta | None]:
+    """``(captured, meta)`` for a trace file that may not exist.
+
+    ``captured`` is ``False`` when the path is ``None``, missing, or
+    empty; ``meta`` may still be ``None`` for a captured legacy trace
+    without a meta line.
+    """
+    if path is None:
+        return False, None
+    path = Path(path)
+    if not path.exists() or path.stat().st_size == 0:
+        return False, None
+    return True, Tracer.read_meta(path)
+
+
+def render_trace_section(path: str | Path | None) -> str:
+    """Trace-health line for a file path, absent artefacts included."""
+    captured, meta = load_trace_meta(path)
+    if not captured:
+        return (
+            "trace health: not captured (no event trace was exported; "
+            "re-run with --trace-out)"
+        )
+    return render_trace_health(meta)
 
 
 def render_metrics_report(report: MetricsReport) -> str:

@@ -16,13 +16,14 @@ input) or programmatically::
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 from typing import Iterable
 
 from repro.obs.profile import (
     CampaignProfile,
     build_profile,
 )
-from repro.obs.spans import Span, SpanRecorder
+from repro.obs.spans import Span, SpanMeta, SpanRecorder
 
 
 def _fmt_seconds(value: float) -> str:
@@ -113,15 +114,46 @@ def profile_spans(spans: Iterable[Span], top_n: int = 10) -> str:
     return render_profile(build_profile(spans, top_n=top_n))
 
 
+#: Rendered when a campaign recorded no spans at all.
+NOT_CAPTURED_PROFILE = (
+    "Campaign profile\n"
+    "  not captured (no spans were recorded; re-run with --span-out)"
+)
+
+
+def load_spans(
+    path: str | Path | None,
+) -> tuple[list[Span] | None, SpanMeta | None]:
+    """``(spans, meta)`` for a span file that may not exist.
+
+    ``spans`` is ``None`` when the path is ``None``, the file is
+    missing, or it is empty — an uninstrumented campaign, not an error.
+    A present-but-corrupt file still raises.
+    """
+    if path is None:
+        return None, None
+    path = Path(path)
+    if not path.exists() or path.stat().st_size == 0:
+        return None, None
+    return SpanRecorder.read_jsonl(path), SpanRecorder.read_meta(path)
+
+
+def render_profile_section(spans: Iterable[Span] | None, top_n: int = 10) -> str:
+    """The profile report, or an explicit note when nothing was recorded."""
+    spans = None if spans is None else list(spans)
+    if not spans:
+        return NOT_CAPTURED_PROFILE
+    return profile_spans(spans, top_n=top_n)
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro.analysis.profile_report spans.jsonl``"""
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 1:
         print("usage: profile_report.py <spans.jsonl>", file=sys.stderr)
         return 2
-    spans = SpanRecorder.read_jsonl(argv[0])
-    meta = SpanRecorder.read_meta(argv[0])
-    print(profile_spans(spans))
+    spans, meta = load_spans(argv[0])
+    print(render_profile_section(spans))
     if meta is not None and meta.dropped:
         print(
             f"WARNING: span buffer dropped {meta.dropped:,} of "

@@ -10,7 +10,9 @@ Commands mirror the measurement workflow:
 * ``monitor`` — longitudinal monthly snapshots;
 * ``probe``   — fetch and validate one domain's attestation file;
 * ``validate`` — audit an archived campaign with the invariant engine,
-  or (``--metamorphic``) re-run a small campaign under perturbations.
+  or (``--metamorphic``) re-run a small campaign under perturbations;
+* ``report``  — render a self-contained static HTML report portal from
+  an archived campaign and its optional observability artefacts.
 """
 
 from __future__ import annotations
@@ -209,6 +211,23 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if recording:
         print()
         print(profile_spans(spans))
+    if args.report_out:
+        from repro.report.bench import load_history
+        from repro.report.site import build_site, resolve_history
+        from repro.validate.artifacts import CrawlArtifacts
+
+        artifacts = CrawlArtifacts.load(
+            args.out,
+            trace=args.trace_out or None,
+            metrics=args.metrics_out or None,
+            spans=args.span_out or None,
+            checkpoint_dir=args.checkpoint_dir or None,
+        )
+        site = build_site(
+            artifacts, load_history(resolve_history(args.out))
+        )
+        site_dir = site.write(args.report_out)
+        print(f"wrote report portal to {site_dir}/ (open {site_dir}/index.html)")
     if args.validate:
         from repro.validate import audit_archive, render_audit
 
@@ -222,6 +241,20 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         print(render_audit(audit))
         if not audit.ok:
             return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.report import generate_report
+
+    out = generate_report(args.archive, out=args.out, history=args.history)
+    print(f"wrote report portal to {out}/ (open {out}/index.html)")
+    if args.open:
+        import webbrowser
+
+        webbrowser.open((Path(out) / "index.html").resolve().as_uri())
     return 0
 
 
@@ -483,7 +516,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit the archived campaign with the invariant engine after "
         "the crawl (non-zero exit on violations)",
     )
+    crawl.add_argument(
+        "--report-out",
+        help="render the static HTML report portal into this directory "
+        "after archiving (uses the exported trace/metrics/span files)",
+    )
     crawl.set_defaults(func=_cmd_crawl)
+
+    report = sub.add_parser(
+        "report",
+        help="render a self-contained static HTML report portal from an "
+        "archived campaign",
+    )
+    report.add_argument("archive", help="campaign archive directory")
+    report.add_argument(
+        "--out",
+        default=None,
+        help="output directory (default: <archive>/report)",
+    )
+    report.add_argument(
+        "--history",
+        default=None,
+        help="bench history.jsonl feeding the trajectory page "
+        "(default: <archive>/history.jsonl, then benchmarks/history.jsonl)",
+    )
+    report.add_argument(
+        "--open",
+        action="store_true",
+        help="open the rendered portal in the default browser",
+    )
+    report.set_defaults(func=_cmd_report)
 
     analyze = sub.add_parser("analyze", help="analyse an archived campaign")
     analyze.add_argument("--data", required=True)

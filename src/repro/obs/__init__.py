@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     NULL_METRICS,
     NullMetrics,
+    render_exposition,
 )
 from repro.obs.profile import (
     CampaignProfile,
@@ -82,6 +83,7 @@ __all__ = [
     "Tracer",
     "build_profile",
     "critical_path",
+    "render_exposition",
     "stage_breakdown",
     "straggler_report",
 ]

@@ -49,6 +49,84 @@ def format_series(name: str, labels: LabelSet) -> str:
     return f"{name}{{{inner}}}"
 
 
+#: HELP text per known metric family; unknown families get a generic line.
+METRIC_HELP: dict[str, str] = {
+    "browser_visits_total": "Completed browser visits by outcome and phase.",
+    "topics_calls_total": "Topics API invocations by call type and gating decision.",
+    "crawl_failures_total": "Failed visits by failure kind.",
+    "crawl_banners_total": "Priv-Accept banner interactions by result.",
+    "attestation_probes_total": "Well-known attestation fetches by result.",
+    "crawl_duration_seconds": "Campaign wall-clock in simulated seconds.",
+    "shard_visits": "Successful visits per shard.",
+    "shard_duration_seconds": "Per-shard wall-clock in simulated seconds.",
+    "visit_seconds": "Visit latency distribution in simulated seconds.",
+    "stage_seconds": "Per-stage latency distribution in simulated seconds.",
+}
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats render without the dot."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, "g")
+
+
+def _family_header(name: str, kind: str) -> list[str]:
+    help_text = METRIC_HELP.get(name, f"{name} ({kind}).")
+    return [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+
+
+def render_exposition(snapshot: "MetricsSnapshot") -> str:
+    """Full Prometheus text exposition of one snapshot.
+
+    Every metric family is preceded by its ``# HELP``/``# TYPE`` header
+    pair — scrapers reject (or silently mistype) headerless families, so
+    the headers are part of the output contract, not decoration.
+    Histograms expand into the standard cumulative ``_bucket{le=...}``
+    series plus ``_sum`` and ``_count``.  Families and series are sorted,
+    so the exposition is deterministic for a given snapshot.
+    """
+    lines: list[str] = []
+
+    by_name: dict[str, list[tuple[LabelSet, float]]] = {}
+    for (name, labels), value in snapshot.counters.items():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        lines.extend(_family_header(name, "counter"))
+        for labels, value in sorted(by_name[name]):
+            lines.append(f"{format_series(name, labels)} {_format_value(value)}")
+
+    by_name = {}
+    for (name, labels), value in snapshot.gauges.items():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        lines.extend(_family_header(name, "gauge"))
+        for labels, value in sorted(by_name[name]):
+            lines.append(f"{format_series(name, labels)} {_format_value(value)}")
+
+    histograms: dict[str, list[tuple[LabelSet, HistogramData]]] = {}
+    for (name, labels), data in snapshot.histograms.items():
+        histograms.setdefault(name, []).append((labels, data))
+    for name in sorted(histograms):
+        lines.extend(_family_header(name, "histogram"))
+        for labels, data in sorted(histograms[name]):
+            cumulative = 0
+            for bound, bucket in zip(
+                tuple(data.bounds) + (float("inf"),), data.bucket_counts
+            ):
+                cumulative += bucket
+                le = "+Inf" if bound == float("inf") else format(bound, "g")
+                series = format_series(f"{name}_bucket", labels + (("le", le),))
+                lines.append(f"{series} {cumulative}")
+            lines.append(
+                f"{format_series(f'{name}_sum', labels)} "
+                f"{_format_value(data.total)}"
+            )
+            lines.append(f"{format_series(f'{name}_count', labels)} {data.count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 @dataclass(frozen=True, slots=True)
 class HistogramData:
     """One histogram series: cumulative-free bucket counts plus summary."""

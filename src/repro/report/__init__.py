@@ -1,0 +1,34 @@
+"""Self-contained static HTML report portal for campaign archives.
+
+``repro report <archive>`` renders one archive — plus whatever optional
+trace/metrics/span/checkpoint/validation artefacts it carries — into a
+deterministic multi-page site: overview, paper figures, profiler views,
+trace/metrics health, validation verdicts, and the bench trajectory.
+Stdlib only, inline CSS and SVG, zero network fetches.
+"""
+
+from repro.report.bench import history_series, load_history
+from repro.report.html import NAV_PAGES, page
+from repro.report.site import (
+    DEFAULT_SITE_DIR,
+    ReportSite,
+    build_site,
+    generate_report,
+    resolve_history,
+)
+from repro.report.svg import hbar_chart, line_chart, paired_hbar_chart
+
+__all__ = [
+    "DEFAULT_SITE_DIR",
+    "NAV_PAGES",
+    "ReportSite",
+    "build_site",
+    "generate_report",
+    "hbar_chart",
+    "history_series",
+    "line_chart",
+    "load_history",
+    "page",
+    "paired_hbar_chart",
+    "resolve_history",
+]

@@ -1,0 +1,44 @@
+"""Bench-trajectory data for the portal.
+
+``scripts/check_bench_regression.py`` appends one JSON record per gated
+run to ``benchmarks/history.jsonl``; this module parses that file into
+per-benchmark series the bench page can chart.  Records are kept in file
+order (append order == run order), so the page needs no timestamps to
+sequence them — which also keeps the rendering deterministic for a given
+history file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def load_history(path: str | Path | None) -> list[dict]:
+    """Parse a ``history.jsonl`` file into its records, file order kept.
+
+    Returns ``[]`` when the path is ``None``, missing, or empty.  Lines
+    that are blank are skipped; a malformed line raises (corruption, not
+    absence).
+    """
+    if path is None:
+        return []
+    path = Path(path)
+    if not path.exists() or path.stat().st_size == 0:
+        return []
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        records.append(json.loads(line))
+    return records
+
+
+def history_series(records: list[dict]) -> dict[str, list[dict]]:
+    """Group history records per benchmark name, run order preserved."""
+    series: dict[str, list[dict]] = {}
+    for record in records:
+        name = str(record.get("benchmark", "unknown"))
+        series.setdefault(name, []).append(record)
+    return dict(sorted(series.items()))

@@ -1,0 +1,313 @@
+"""Stdlib HTML building blocks for the report portal.
+
+No template engine, no external assets: pages are assembled from these
+helpers into self-contained documents whose only non-HTML payload is the
+inline stylesheet below and the inline SVG charts from
+:mod:`repro.report.svg`.  Every helper escapes its text inputs, and
+nothing here depends on wall-clock, locale, or dict iteration order —
+the byte-determinism of the whole site rests on that.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Iterable, Sequence
+
+#: Portal pages in navigation order: (filename, nav label).
+NAV_PAGES: tuple[tuple[str, str], ...] = (
+    ("index.html", "Overview"),
+    ("figures.html", "Figures"),
+    ("profile.html", "Profiler"),
+    ("health.html", "Trace & metrics"),
+    ("validation.html", "Validation"),
+    ("bench.html", "Bench trajectory"),
+)
+
+#: The inline stylesheet: light theme with a selected dark theme (same
+#: hues re-stepped for the dark surface), text tokens for all labels,
+#: hairline chrome.  Palette follows the validated reference instance.
+STYLESHEET = """
+:root {
+  color-scheme: light dark;
+  --page: #f9f9f7;
+  --surface: #fcfcfb;
+  --ink-1: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --page: #0d0d0d;
+    --surface: #1a1a19;
+    --ink-1: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  background: var(--page);
+  color: var(--ink-1);
+  font: 15px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header.site {
+  padding: 20px 28px 0;
+  max-width: 1080px;
+  margin: 0 auto;
+}
+header.site h1 { font-size: 20px; margin: 0 0 2px; }
+header.site p.sub { margin: 0; color: var(--ink-2); font-size: 13px; }
+nav.site {
+  max-width: 1080px;
+  margin: 12px auto 0;
+  padding: 0 28px;
+  display: flex;
+  gap: 4px;
+  flex-wrap: wrap;
+  border-bottom: 1px solid var(--grid);
+}
+nav.site a {
+  padding: 6px 12px 8px;
+  color: var(--ink-2);
+  text-decoration: none;
+  font-size: 14px;
+  border-bottom: 2px solid transparent;
+}
+nav.site a:hover { color: var(--ink-1); }
+nav.site a.active {
+  color: var(--ink-1);
+  font-weight: 600;
+  border-bottom-color: var(--series-1);
+}
+main {
+  max-width: 1080px;
+  margin: 0 auto;
+  padding: 20px 28px 48px;
+}
+section.card {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 18px 20px;
+  margin: 0 0 18px;
+}
+section.card h2 { font-size: 16px; margin: 0 0 4px; }
+section.card p.desc { margin: 0 0 12px; color: var(--ink-2); font-size: 13px; }
+p.note {
+  margin: 0;
+  padding: 10px 12px;
+  border-left: 3px solid var(--baseline);
+  color: var(--ink-2);
+  background: var(--page);
+  border-radius: 0 6px 6px 0;
+  font-size: 14px;
+}
+div.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 6px; }
+div.tile {
+  flex: 1 1 150px;
+  min-width: 150px;
+  background: var(--page);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px 14px;
+}
+div.tile .label { font-size: 12px; color: var(--ink-2); }
+div.tile .value { font-size: 26px; font-weight: 600; margin: 2px 0 0; }
+div.tile .detail { font-size: 12px; color: var(--muted); margin: 2px 0 0; }
+table.data {
+  border-collapse: collapse;
+  width: 100%;
+  font-size: 13.5px;
+  margin: 4px 0;
+}
+table.data caption {
+  text-align: left;
+  color: var(--ink-2);
+  font-size: 13px;
+  padding: 0 0 6px;
+}
+table.data th, table.data td {
+  text-align: left;
+  padding: 5px 10px 5px 0;
+  border-bottom: 1px solid var(--grid);
+  vertical-align: top;
+}
+table.data th { color: var(--ink-2); font-weight: 600; font-size: 12.5px; }
+table.data td.num, table.data th.num {
+  text-align: right;
+  font-variant-numeric: tabular-nums;
+}
+table.kv { border-collapse: collapse; font-size: 14px; }
+table.kv th {
+  text-align: left;
+  color: var(--ink-2);
+  font-weight: 400;
+  padding: 3px 18px 3px 0;
+  white-space: nowrap;
+}
+table.kv td { padding: 3px 0; font-variant-numeric: tabular-nums; }
+div.legend {
+  display: flex;
+  gap: 16px;
+  flex-wrap: wrap;
+  margin: 0 0 8px;
+  font-size: 12.5px;
+  color: var(--ink-2);
+}
+div.legend span.key { display: inline-flex; align-items: center; gap: 6px; }
+div.legend i {
+  width: 10px;
+  height: 10px;
+  border-radius: 2px;
+  display: inline-block;
+}
+div.legend i.s1 { background: var(--series-1); }
+div.legend i.s2 { background: var(--series-2); }
+div.legend i.s3 { background: var(--series-3); }
+span.ok { color: var(--status-good); font-weight: 600; }
+span.warn { color: var(--ink-1); font-weight: 600; }
+span.fail { color: var(--status-critical); font-weight: 600; }
+details.tbl { margin: 8px 0 0; }
+details.tbl summary { color: var(--ink-2); font-size: 13px; cursor: pointer; }
+svg.chart { display: block; max-width: 100%; height: auto; }
+svg.chart .bar-s1 { fill: var(--series-1); }
+svg.chart .bar-s2 { fill: var(--series-2); }
+svg.chart .bar-s3 { fill: var(--series-3); }
+svg.chart .line-s1 { stroke: var(--series-1); }
+svg.chart .line-s2 { stroke: var(--series-2); }
+svg.chart .line-s3 { stroke: var(--series-3); }
+svg.chart .dot-s1 { fill: var(--series-1); stroke: var(--surface); stroke-width: 2; }
+svg.chart .dot-s2 { fill: var(--series-2); stroke: var(--surface); stroke-width: 2; }
+svg.chart .dot-s3 { fill: var(--series-3); stroke: var(--surface); stroke-width: 2; }
+svg.chart text { font: 12px system-ui, -apple-system, "Segoe UI", sans-serif; }
+svg.chart text.cat { fill: var(--ink-2); }
+svg.chart text.val { fill: var(--ink-2); font-variant-numeric: tabular-nums; }
+svg.chart text.tick { fill: var(--muted); font-size: 11px; }
+svg.chart text.flag { fill: var(--ink-1); font-weight: 600; }
+svg.chart line.grid { stroke: var(--grid); stroke-width: 1; }
+svg.chart line.axis { stroke: var(--baseline); stroke-width: 1; }
+footer.site {
+  max-width: 1080px;
+  margin: 0 auto;
+  padding: 0 28px 28px;
+  color: var(--muted);
+  font-size: 12px;
+}
+"""
+
+
+def esc(text: object) -> str:
+    """HTML-escape any value's string form."""
+    return _html.escape(str(text), quote=True)
+
+
+def note(text: str) -> str:
+    """An explicit "not captured" (or similar) callout block."""
+    return f'<p class="note">{esc(text)}</p>'
+
+
+def section(title: str, body: str, desc: str = "") -> str:
+    """One titled card on a page."""
+    lead = f'<p class="desc">{esc(desc)}</p>' if desc else ""
+    return f'<section class="card"><h2>{esc(title)}</h2>{lead}{body}</section>'
+
+
+def kv_table(pairs: Iterable[tuple[str, object]]) -> str:
+    """A two-column key/value table (already-escaped values NOT expected)."""
+    rows = "".join(
+        f"<tr><th>{esc(key)}</th><td>{esc(value)}</td></tr>"
+        for key, value in pairs
+    )
+    return f'<table class="kv">{rows}</table>'
+
+
+def data_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    numeric: Sequence[int] = (),
+    caption: str = "",
+) -> str:
+    """A data table; ``numeric`` names right-aligned column indices."""
+    numeric_set = set(numeric)
+
+    def cell(tag: str, index: int, value: object) -> str:
+        klass = ' class="num"' if index in numeric_set else ""
+        return f"<{tag}{klass}>{esc(value)}</{tag}>"
+
+    head = "".join(cell("th", i, h) for i, h in enumerate(headers))
+    body = "".join(
+        "<tr>" + "".join(cell("td", i, v) for i, v in enumerate(row)) + "</tr>"
+        for row in rows
+    )
+    cap = f"<caption>{esc(caption)}</caption>" if caption else ""
+    return (
+        f'<table class="data">{cap}<thead><tr>{head}</tr></thead>'
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+def detail_table(summary: str, table: str) -> str:
+    """A collapsed table view riding along a chart (accessibility path)."""
+    return f'<details class="tbl"><summary>{esc(summary)}</summary>{table}</details>'
+
+
+def stat_tiles(tiles: Iterable[tuple[str, str, str]]) -> str:
+    """A row of stat tiles: (label, value, detail) triples."""
+    blocks = "".join(
+        f'<div class="tile"><div class="label">{esc(label)}</div>'
+        f'<div class="value">{esc(value)}</div>'
+        + (f'<div class="detail">{esc(detail)}</div>' if detail else "")
+        + "</div>"
+        for label, value, detail in tiles
+    )
+    return f'<div class="tiles">{blocks}</div>'
+
+
+def legend(entries: Iterable[tuple[str, str]]) -> str:
+    """A chart legend: (series css slot, label) pairs, e.g. ("s1", "present")."""
+    keys = "".join(
+        f'<span class="key"><i class="{esc(slot)}"></i>{esc(label)}</span>'
+        for slot, label in entries
+    )
+    return f'<div class="legend">{keys}</div>'
+
+
+def page(title: str, active: str, body: str, subtitle: str = "") -> str:
+    """A full portal page with shared chrome; ``active`` is the filename."""
+    nav = "".join(
+        f'<a href="{esc(filename)}"'
+        + (' class="active"' if filename == active else "")
+        + f">{esc(label)}</a>"
+        for filename, label in NAV_PAGES
+    )
+    sub = f'<p class="sub">{esc(subtitle)}</p>' if subtitle else ""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{esc(title)}</title>\n"
+        f"<style>{STYLESHEET}</style>\n"
+        "</head>\n<body>\n"
+        f'<header class="site"><h1>{esc(title)}</h1>{sub}</header>\n'
+        f'<nav class="site">{nav}</nav>\n'
+        f"<main>\n{body}\n</main>\n"
+        '<footer class="site">Generated offline by <code>repro report</code> — '
+        "self-contained, no external assets.</footer>\n"
+        "</body>\n</html>\n"
+    )

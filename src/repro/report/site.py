@@ -1,0 +1,111 @@
+"""Assembling and writing the portal.
+
+:func:`build_site` turns a loaded artefact bundle into the full page
+set in memory; :func:`write_site` persists it atomically;
+:func:`generate_report` is the one-call path the CLI uses (archive
+directory in, output directory out).  Generation is byte-deterministic:
+the same archive and history always produce the same site, which is
+what lets the test suite assert serial and process-parallel campaigns
+render identical portals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.figure_data import campaign_figures
+from repro.report.bench import load_history
+from repro.report.html import page
+from repro.report.sections import (
+    render_bench_page,
+    render_figures_page,
+    render_health_page,
+    render_overview_page,
+    render_profile_page,
+    render_validation_page,
+)
+from repro.util.fsio import atomic_write_text
+from repro.validate.artifacts import CrawlArtifacts
+from repro.validate.engine import audit_artifacts
+
+#: Default portal directory name inside an archive.
+DEFAULT_SITE_DIR = "report"
+
+#: Repo-level bench history consulted when the archive has none.
+DEFAULT_HISTORY = Path("benchmarks") / "history.jsonl"
+
+
+@dataclass
+class ReportSite:
+    """A fully rendered portal: filename → page bytes (as text)."""
+
+    title: str
+    pages: dict[str, str] = field(default_factory=dict)
+
+    def write(self, directory: str | Path) -> Path:
+        """Write every page atomically; returns the output directory."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        for filename in sorted(self.pages):
+            atomic_write_text(out / filename, self.pages[filename])
+        return out
+
+
+def resolve_history(
+    archive: str | Path, history: str | Path | None = None
+) -> Path | None:
+    """Pick the bench history feeding the portal.
+
+    Explicit path wins; else ``<archive>/history.jsonl``; else the
+    repo-level ``benchmarks/history.jsonl`` relative to the working
+    directory; else ``None`` (the page renders a not-captured note).
+    """
+    if history is not None:
+        return Path(history)
+    in_archive = Path(archive) / "history.jsonl"
+    if in_archive.exists():
+        return in_archive
+    if DEFAULT_HISTORY.exists():
+        return DEFAULT_HISTORY
+    return None
+
+
+def build_site(
+    artifacts: CrawlArtifacts, history: list[dict] | None = None
+) -> ReportSite:
+    """Render every portal page from one loaded artefact bundle."""
+    title = f"Campaign report — {artifacts.directory.name}"
+    subtitle = (
+        "Topics API crawl-campaign observability portal: figures, profile, "
+        "health, and validation from the archive's own artefacts."
+    )
+    figures = campaign_figures(artifacts.result)
+    audit = audit_artifacts(artifacts)
+    bodies = {
+        "index.html": render_overview_page(artifacts),
+        "figures.html": render_figures_page(figures),
+        "profile.html": render_profile_page(artifacts),
+        "health.html": render_health_page(artifacts),
+        "validation.html": render_validation_page(artifacts, audit),
+        "bench.html": render_bench_page(history or []),
+    }
+    pages = {
+        filename: page(title, filename, body, subtitle)
+        for filename, body in bodies.items()
+    }
+    return ReportSite(title=title, pages=pages)
+
+
+def generate_report(
+    archive: str | Path,
+    out: str | Path | None = None,
+    history: str | Path | None = None,
+) -> Path:
+    """Archive directory in, written portal out; returns the site dir."""
+    archive = Path(archive)
+    artifacts = CrawlArtifacts.load(archive)
+    history_path = resolve_history(archive, history)
+    site = build_site(artifacts, load_history(history_path))
+    destination = Path(out) if out is not None else archive / DEFAULT_SITE_DIR
+    return site.write(destination)

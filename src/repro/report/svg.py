@@ -1,0 +1,322 @@
+"""Deterministic inline-SVG chart primitives.
+
+Three forms cover every portal page: a horizontal bar chart (magnitude
+per category), a paired horizontal bar chart (two measures per
+category), and a categorical line chart (trajectories).  All geometry is
+computed with fixed-precision formatting so the same inputs always
+produce the same bytes; colors are never emitted inline — marks carry
+CSS classes resolved by the portal stylesheet, which is what makes the
+charts follow the light/dark theme for free.
+
+Mark conventions (shared with the stylesheet in
+:mod:`repro.report.html`): bars are thin (≤16px) with a 4px rounded
+data-end, lines are 2px with ≥8px markers ringed in surface color, grid
+and axes are hairlines, and every mark embeds a ``<title>`` so browsers
+show a native tooltip.  Text always wears ink tokens, never series
+color.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.report.html import esc
+
+#: Maximum characters of a category label before deterministic ellipsis.
+_LABEL_MAX = 34
+
+
+def fmt_coord(value: float) -> str:
+    """A coordinate with at most 2 decimals and no trailing zeros."""
+    text = f"{value:.2f}".rstrip("0").rstrip(".")
+    return "0" if text == "-0" else text
+
+
+def fmt_num(value: float) -> str:
+    """A human-readable value label: grouped ints, trimmed 2-dp floats."""
+    if isinstance(value, bool):  # bools are ints; never wanted here
+        value = int(value)
+    if float(value) == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def _truncate(label: str) -> str:
+    if len(label) <= _LABEL_MAX:
+        return label
+    return label[: _LABEL_MAX - 1] + "…"
+
+
+def _ticks(max_value: float, count: int = 4) -> list[float]:
+    """Nice round tick values from 0 up to (at least near) ``max_value``."""
+    if max_value <= 0:
+        return [0.0, 1.0]
+    raw_step = max_value / count
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for factor in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    ticks = [round(i * step, 10) for i in range(count + 1)]
+    while ticks and ticks[-1] > max_value and ticks[-2] >= max_value:
+        ticks.pop()
+    return ticks
+
+
+def _label_gutter(labels: Sequence[str]) -> float:
+    longest = max((len(_truncate(label)) for label in labels), default=0)
+    return min(250.0, max(90.0, 7.2 * longest + 14.0))
+
+
+def _rounded_bar(x: float, y: float, w: float, h: float, klass: str) -> str:
+    """A bar square at the baseline with a 4px-rounded data end."""
+    r = min(4.0, w / 2.0, h / 2.0)
+    x_end = x + w
+    d = (
+        f"M{fmt_coord(x)} {fmt_coord(y)}"
+        f"H{fmt_coord(x_end - r)}"
+        f"Q{fmt_coord(x_end)} {fmt_coord(y)} {fmt_coord(x_end)} {fmt_coord(y + r)}"
+        f"V{fmt_coord(y + h - r)}"
+        f"Q{fmt_coord(x_end)} {fmt_coord(y + h)} "
+        f"{fmt_coord(x_end - r)} {fmt_coord(y + h)}"
+        f"H{fmt_coord(x)}Z"
+    )
+    return f'<path class="{klass}" d="{d}"/>'
+
+
+def _svg_open(width: float, height: float, title: str) -> str:
+    return (
+        f'<svg class="chart" role="img" aria-label="{esc(title)}" '
+        f'viewBox="0 0 {fmt_coord(width)} {fmt_coord(height)}" '
+        f'width="{fmt_coord(width)}" height="{fmt_coord(height)}" '
+        'xmlns="http://www.w3.org/2000/svg">'
+    )
+
+
+def _grid(
+    ticks: Sequence[float],
+    scale: float,
+    x0: float,
+    top: float,
+    bottom: float,
+    fmt=fmt_num,
+) -> str:
+    """Vertical hairline gridlines with tick labels underneath."""
+    parts = []
+    for tick in ticks:
+        x = x0 + tick * scale
+        parts.append(
+            f'<line class="grid" x1="{fmt_coord(x)}" y1="{fmt_coord(top)}" '
+            f'x2="{fmt_coord(x)}" y2="{fmt_coord(bottom)}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{fmt_coord(x)}" '
+            f'y="{fmt_coord(bottom + 14)}" text-anchor="middle">'
+            f"{esc(fmt(tick))}</text>"
+        )
+    return "".join(parts)
+
+
+def hbar_chart(
+    rows: Sequence[tuple[str, float]],
+    title: str,
+    unit: str = "",
+    series: str = "s1",
+    width: float = 720.0,
+    flags: dict[str, str] | None = None,
+) -> str:
+    """Horizontal bars, one per category, direct value label at the tip.
+
+    ``flags`` maps a category label to a short annotation rendered in
+    ink after the value (e.g. ``{"shard 3": "▲ straggler"}``) —
+    status is never carried by color alone.
+    """
+    if not rows:
+        return empty_chart(title)
+    flags = flags or {}
+    bar_h, pitch, pad_top, pad_bottom = 16.0, 26.0, 8.0, 24.0
+    gutter = _label_gutter([label for label, _ in rows])
+    value_gutter = 110.0
+    plot_w = width - gutter - value_gutter
+    height = pad_top + pitch * len(rows) + pad_bottom
+    max_value = max(value for _, value in rows)
+    ticks = _ticks(max_value)
+    scale = plot_w / ticks[-1] if ticks[-1] else 0.0
+
+    parts = [_svg_open(width, height, title)]
+    parts.append(_grid(ticks, scale, gutter, pad_top, height - pad_bottom))
+    for i, (label, value) in enumerate(rows):
+        y = pad_top + i * pitch + (pitch - bar_h) / 2.0
+        bar_w = max(value * scale, 0.0)
+        shown = _truncate(label)
+        tip = f"{label}: {fmt_num(value)}{(' ' + unit) if unit else ''}"
+        flag = flags.get(label, "")
+        value_text = fmt_num(value) + (f" {flag}" if flag else "")
+        value_class = "flag" if flag else "val"
+        parts.append(
+            "<g>"
+            f"<title>{esc(tip)}</title>"
+            f'<text class="cat" x="{fmt_coord(gutter - 8)}" '
+            f'y="{fmt_coord(y + bar_h - 4)}" text-anchor="end">{esc(shown)}</text>'
+            + _rounded_bar(gutter, y, bar_w, bar_h, f"bar-{series}")
+            + f'<text class="{value_class}" x="{fmt_coord(gutter + bar_w + 6)}" '
+            f'y="{fmt_coord(y + bar_h - 4)}">{esc(value_text)}</text>'
+            "</g>"
+        )
+    parts.append(
+        f'<line class="axis" x1="{fmt_coord(gutter)}" y1="{fmt_coord(pad_top)}" '
+        f'x2="{fmt_coord(gutter)}" y2="{fmt_coord(height - pad_bottom)}"/>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def paired_hbar_chart(
+    rows: Sequence[tuple[str, float, float]],
+    title: str,
+    series_names: tuple[str, str],
+    width: float = 720.0,
+) -> str:
+    """Two bars per category (series 1 and 2), 2px surface gap between.
+
+    The caller renders the matching legend with
+    :func:`repro.report.html.legend` — identity is never color-alone.
+    """
+    if not rows:
+        return empty_chart(title)
+    bar_h, gap, pad_top, pad_bottom = 10.0, 2.0, 8.0, 24.0
+    pitch = 2 * bar_h + gap + 10.0
+    gutter = _label_gutter([label for label, _, _ in rows])
+    value_gutter = 110.0
+    plot_w = width - gutter - value_gutter
+    height = pad_top + pitch * len(rows) + pad_bottom
+    max_value = max(max(a, b) for _, a, b in rows)
+    ticks = _ticks(max_value)
+    scale = plot_w / ticks[-1] if ticks[-1] else 0.0
+
+    parts = [_svg_open(width, height, title)]
+    parts.append(_grid(ticks, scale, gutter, pad_top, height - pad_bottom))
+    for i, (label, first, second) in enumerate(rows):
+        y = pad_top + i * pitch + (pitch - 2 * bar_h - gap) / 2.0
+        shown = _truncate(label)
+        tip = (
+            f"{label} — {series_names[0]}: {fmt_num(first)}, "
+            f"{series_names[1]}: {fmt_num(second)}"
+        )
+        parts.append(
+            "<g>"
+            f"<title>{esc(tip)}</title>"
+            f'<text class="cat" x="{fmt_coord(gutter - 8)}" '
+            f'y="{fmt_coord(y + bar_h + gap / 2.0 + 4)}" text-anchor="end">'
+            f"{esc(shown)}</text>"
+            + _rounded_bar(gutter, y, max(first * scale, 0.0), bar_h, "bar-s1")
+            + f'<text class="val" x="{fmt_coord(gutter + first * scale + 6)}" '
+            f'y="{fmt_coord(y + bar_h - 1)}">{esc(fmt_num(first))}</text>'
+            + _rounded_bar(
+                gutter, y + bar_h + gap, max(second * scale, 0.0), bar_h, "bar-s2"
+            )
+            + f'<text class="val" x="{fmt_coord(gutter + second * scale + 6)}" '
+            f'y="{fmt_coord(y + 2 * bar_h + gap - 1)}">{esc(fmt_num(second))}</text>'
+            "</g>"
+        )
+    parts.append(
+        f'<line class="axis" x1="{fmt_coord(gutter)}" y1="{fmt_coord(pad_top)}" '
+        f'x2="{fmt_coord(gutter)}" y2="{fmt_coord(height - pad_bottom)}"/>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def line_chart(
+    series: Sequence[tuple[str, str, Sequence[tuple[str, float]]]],
+    title: str,
+    width: float = 720.0,
+    height: float = 240.0,
+    unit: str = "",
+) -> str:
+    """Categorical line chart: ``series`` is (slot, name, [(x label, y)]).
+
+    ``slot`` is a stylesheet series class ("s1", "s2", "s3").  All
+    series share the x categories of the longest one, positions taken by
+    index.  The last point of each series gets a direct value label;
+    with ≥2 series the caller adds an HTML legend.
+    """
+    series = [entry for entry in series if entry[2]]
+    if not series:
+        return empty_chart(title)
+    pad_left, pad_right, pad_top, pad_bottom = 58.0, 70.0, 12.0, 30.0
+    plot_w = width - pad_left - pad_right
+    plot_h = height - pad_top - pad_bottom
+    x_labels = max((list(points) for _, _, points in series), key=len)
+    x_labels = [label for label, _ in x_labels]
+    n = max(len(x_labels), 2)
+    step_x = plot_w / (n - 1)
+    max_value = max(y for _, _, points in series for _, y in points)
+    ticks = _ticks(max_value)
+    top_tick = ticks[-1] or 1.0
+
+    def x_at(index: int) -> float:
+        return pad_left + index * step_x
+
+    def y_at(value: float) -> float:
+        return pad_top + plot_h * (1.0 - value / top_tick)
+
+    parts = [_svg_open(width, height, title)]
+    for tick in ticks:
+        y = y_at(tick)
+        parts.append(
+            f'<line class="grid" x1="{fmt_coord(pad_left)}" y1="{fmt_coord(y)}" '
+            f'x2="{fmt_coord(width - pad_right)}" y2="{fmt_coord(y)}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{fmt_coord(pad_left - 8)}" '
+            f'y="{fmt_coord(y + 4)}" text-anchor="end">{esc(fmt_num(tick))}</text>'
+        )
+    label_step = max(1, math.ceil(len(x_labels) / 8))
+    for i, label in enumerate(x_labels):
+        if i % label_step and i != len(x_labels) - 1:
+            continue
+        parts.append(
+            f'<text class="tick" x="{fmt_coord(x_at(i))}" '
+            f'y="{fmt_coord(height - pad_bottom + 16)}" text-anchor="middle">'
+            f"{esc(label)}</text>"
+        )
+    parts.append(
+        f'<line class="axis" x1="{fmt_coord(pad_left)}" '
+        f'y1="{fmt_coord(height - pad_bottom)}" '
+        f'x2="{fmt_coord(width - pad_right)}" '
+        f'y2="{fmt_coord(height - pad_bottom)}"/>'
+    )
+    for slot, name, points in series:
+        coords = [(x_at(i), y_at(y)) for i, (_, y) in enumerate(points)]
+        path = " ".join(
+            f"{fmt_coord(x)},{fmt_coord(y)}" for x, y in coords
+        )
+        parts.append(
+            f'<polyline class="line-{esc(slot)}" fill="none" '
+            f'stroke-width="2" points="{path}"/>'
+        )
+        for (x, y), (x_label, value) in zip(coords, points):
+            tip = f"{name} — {x_label}: {fmt_num(value)}{(' ' + unit) if unit else ''}"
+            parts.append(
+                f'<circle class="dot-{esc(slot)}" cx="{fmt_coord(x)}" '
+                f'cy="{fmt_coord(y)}" r="4"><title>{esc(tip)}</title></circle>'
+            )
+        end_x, end_y = coords[-1]
+        parts.append(
+            f'<text class="val" x="{fmt_coord(end_x + 8)}" '
+            f'y="{fmt_coord(end_y + 4)}">{esc(fmt_num(points[-1][1]))}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def empty_chart(title: str) -> str:
+    """A placeholder emitted when a chart has no rows to draw."""
+    return (
+        f'<svg class="chart" role="img" aria-label="{esc(title)}" '
+        'viewBox="0 0 720 60" width="720" height="60" '
+        'xmlns="http://www.w3.org/2000/svg">'
+        '<text class="tick" x="8" y="34">no data</text></svg>'
+    )

@@ -24,9 +24,11 @@ from repro.validate.artifacts import (
     ARTIFACT_ALLOWLIST,
     ARTIFACT_CHECKPOINTS,
     ARTIFACT_DATASETS,
+    ARTIFACT_METAMORPHIC,
     ARTIFACT_METRICS,
     ARTIFACT_PARTIAL,
     ARTIFACT_REPORT,
+    ARTIFACT_SPANS,
     ARTIFACT_SURVEY,
     ARTIFACT_TAXONOMY,
     ARTIFACT_TRACE,
@@ -52,9 +54,11 @@ __all__ = [
     "ARTIFACT_ALLOWLIST",
     "ARTIFACT_CHECKPOINTS",
     "ARTIFACT_DATASETS",
+    "ARTIFACT_METAMORPHIC",
     "ARTIFACT_METRICS",
     "ARTIFACT_PARTIAL",
     "ARTIFACT_REPORT",
+    "ARTIFACT_SPANS",
     "ARTIFACT_SURVEY",
     "ARTIFACT_TAXONOMY",
     "ARTIFACT_TRACE",

@@ -14,6 +14,7 @@ one.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -21,6 +22,7 @@ from repro.crawler.archive import load_crawl
 from repro.crawler.campaign import CrawlResult
 from repro.crawler.checkpoint import MANIFEST_FILE, CheckpointStore, PartialManifest
 from repro.obs.metrics import MetricsSnapshot
+from repro.obs.spans import Span, SpanMeta, SpanRecorder
 from repro.obs.tracer import TraceEvent, TraceMeta, Tracer
 from repro.taxonomy.tree import TaxonomyTree, TopicNode, load_default_taxonomy
 
@@ -31,15 +33,19 @@ ARTIFACT_ALLOWLIST = "allowlist"
 ARTIFACT_REPORT = "report"
 ARTIFACT_TRACE = "trace"
 ARTIFACT_METRICS = "metrics"
+ARTIFACT_SPANS = "spans"
 ARTIFACT_CHECKPOINTS = "checkpoints"
 ARTIFACT_PARTIAL = "partial"
 ARTIFACT_TAXONOMY = "taxonomy"
+ARTIFACT_METAMORPHIC = "metamorphic"
 
 #: Conventional in-archive names for the optional artefacts.
 TRACE_FILE = "trace.jsonl"
 METRICS_FILE = "metrics.json"
+SPANS_FILE = "spans.jsonl"
 PARTIAL_FILE = "partial.json"
 CHECKPOINT_DIR = "checkpoints"
+METAMORPHIC_FILE = "metamorphic.json"
 
 
 @dataclass
@@ -51,8 +57,12 @@ class CrawlArtifacts:
     trace_meta: TraceMeta | None = None
     trace_events: tuple[TraceEvent, ...] | None = None
     metrics: MetricsSnapshot | None = None
+    span_meta: SpanMeta | None = None
+    spans: tuple[Span, ...] | None = None
     manifest: dict | None = None  # checkpoint MANIFEST.json payload
     partial: PartialManifest | None = None
+    #: Parsed metamorphic-report JSON, when one was saved alongside.
+    metamorphic: dict | None = None
     #: Taxonomy entries to validate; ``None`` audits the bundled default.
     taxonomy_entries: tuple[TopicNode, ...] | None = None
 
@@ -69,10 +79,14 @@ class CrawlArtifacts:
             keys.add(ARTIFACT_TRACE)
         if self.metrics is not None:
             keys.add(ARTIFACT_METRICS)
+        if self.spans is not None:
+            keys.add(ARTIFACT_SPANS)
         if self.manifest is not None:
             keys.add(ARTIFACT_CHECKPOINTS)
         if self.partial is not None:
             keys.add(ARTIFACT_PARTIAL)
+        if self.metamorphic is not None:
+            keys.add(ARTIFACT_METAMORPHIC)
         return frozenset(keys)
 
     def taxonomy(self) -> TaxonomyTree:
@@ -87,8 +101,10 @@ class CrawlArtifacts:
         directory: str | Path,
         trace: str | Path | None = None,
         metrics: str | Path | None = None,
+        spans: str | Path | None = None,
         checkpoint_dir: str | Path | None = None,
         partial: str | Path | None = None,
+        metamorphic: str | Path | None = None,
         taxonomy_entries: tuple[TopicNode, ...] | None = None,
     ) -> "CrawlArtifacts":
         """Load an archive plus whatever optional artefacts exist.
@@ -110,6 +126,12 @@ class CrawlArtifacts:
             MetricsSnapshot.load(metrics_path) if metrics_path is not None else None
         )
 
+        span_path = _resolve(spans, source / SPANS_FILE)
+        span_meta = span_records = None
+        if span_path is not None:
+            span_meta = SpanRecorder.read_meta(span_path)
+            span_records = tuple(SpanRecorder.read_jsonl(span_path))
+
         store_dir = _resolve(checkpoint_dir, source / CHECKPOINT_DIR)
         manifest = None
         if store_dir is not None and (Path(store_dir) / MANIFEST_FILE).exists():
@@ -120,14 +142,24 @@ class CrawlArtifacts:
             PartialManifest.load(partial_path) if partial_path is not None else None
         )
 
+        metamorphic_path = _resolve(metamorphic, source / METAMORPHIC_FILE)
+        metamorphic_report = (
+            json.loads(metamorphic_path.read_text(encoding="utf-8"))
+            if metamorphic_path is not None
+            else None
+        )
+
         return cls(
             directory=source,
             result=result,
             trace_meta=trace_meta,
             trace_events=trace_events,
             metrics=snapshot,
+            span_meta=span_meta,
+            spans=span_records,
             manifest=manifest,
             partial=partial_manifest,
+            metamorphic=metamorphic_report,
             taxonomy_entries=taxonomy_entries,
         )
 

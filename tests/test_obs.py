@@ -398,3 +398,73 @@ def test_format_series_escapes_label_values():
         format_series("errors", (("msg", 'a "quoted" \\ path\nnext'),))
         == 'errors{msg="a \\"quoted\\" \\\\ path\\nnext"}'
     )
+
+
+class TestExposition:
+    """The Prometheus text exposition: headers, ordering, histograms."""
+
+    @staticmethod
+    def _snapshot():
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("topics_calls_total", type="js")
+        registry.counter("topics_calls_total", type="header")
+        registry.counter("browser_visits_total", outcome="ok")
+        registry.gauge("crawl_duration_seconds", 12.5)
+        registry.observe("visit_seconds", 1.5)
+        registry.observe("visit_seconds", 4.0)
+        return registry.snapshot()
+
+    def test_every_family_has_help_and_type_headers(self):
+        from repro.obs import render_exposition
+
+        exposition = render_exposition(self._snapshot())
+        lines = exposition.splitlines()
+        families = (
+            ("browser_visits_total", "counter"),
+            ("topics_calls_total", "counter"),
+            ("crawl_duration_seconds", "gauge"),
+            ("visit_seconds", "histogram"),
+        )
+        for name, kind in families:
+            type_line = f"# TYPE {name} {kind}"
+            assert type_line in lines
+            # HELP immediately precedes TYPE for every family.
+            help_line = lines[lines.index(type_line) - 1]
+            assert help_line.startswith(f"# HELP {name} ")
+
+    def test_headers_precede_their_samples(self):
+        from repro.obs import render_exposition
+
+        lines = render_exposition(self._snapshot()).splitlines()
+        type_index = lines.index("# TYPE topics_calls_total counter")
+        samples = [
+            i for i, line in enumerate(lines)
+            if line.startswith("topics_calls_total{")
+        ]
+        assert samples and min(samples) == type_index + 1
+        # Series within the family are label-sorted (deterministic).
+        assert lines[samples[0]].startswith('topics_calls_total{type="header"}')
+
+    def test_histogram_expands_cumulative_buckets(self):
+        from repro.obs import render_exposition
+
+        exposition = render_exposition(self._snapshot())
+        assert 'visit_seconds_bucket{le="2"} 1' in exposition
+        assert 'visit_seconds_bucket{le="5"} 2' in exposition
+        assert 'visit_seconds_bucket{le="+Inf"} 2' in exposition
+        assert "visit_seconds_sum 5.5" in exposition
+        assert "visit_seconds_count 2" in exposition
+
+    def test_deterministic_and_newline_terminated(self):
+        from repro.obs import render_exposition
+
+        first = render_exposition(self._snapshot())
+        assert first == render_exposition(self._snapshot())
+        assert first.endswith("\n")
+
+    def test_empty_snapshot_renders_empty(self):
+        from repro.obs import MetricsRegistry, render_exposition
+
+        assert render_exposition(MetricsRegistry().snapshot()) == ""

@@ -1,0 +1,160 @@
+"""SVG chart primitives and HTML helpers: determinism, escaping, marks."""
+
+import pytest
+
+from repro.report.html import (
+    data_table,
+    esc,
+    kv_table,
+    legend,
+    note,
+    page,
+    section,
+    stat_tiles,
+)
+from repro.report.svg import (
+    _ticks,
+    empty_chart,
+    fmt_coord,
+    fmt_num,
+    hbar_chart,
+    line_chart,
+    paired_hbar_chart,
+)
+
+
+class TestFormatting:
+    def test_fmt_coord_trims(self):
+        assert fmt_coord(12.0) == "12"
+        assert fmt_coord(12.50) == "12.5"
+        assert fmt_coord(12.345) == "12.35"  # 2 dp max
+        assert fmt_coord(-0.001) == "0"  # no "-0"
+
+    def test_fmt_num(self):
+        assert fmt_num(1234567) == "1,234,567"
+        assert fmt_num(12.0) == "12"
+        assert fmt_num(12.345) == "12.35"
+
+    def test_ticks_are_round_and_cover(self):
+        for max_value in (1, 7, 42, 99, 1234, 0.37):
+            ticks = _ticks(max_value)
+            assert ticks[0] == 0
+            assert ticks[-1] >= max_value * 0.99
+        assert _ticks(0) == [0.0, 1.0]
+
+
+class TestHbar:
+    ROWS = [("alpha.com", 120), ("beta.net", 80), ("gamma.org", 5)]
+
+    def test_deterministic(self):
+        assert hbar_chart(self.ROWS, "t") == hbar_chart(self.ROWS, "t")
+
+    def test_has_mark_per_row_and_tooltips(self):
+        chart = hbar_chart(self.ROWS, "t", unit="sites")
+        assert chart.count('class="bar-s1"') == len(self.ROWS)
+        assert chart.count("<title>") == len(self.ROWS)
+        assert "alpha.com: 120 sites" in chart
+
+    def test_rounded_data_end(self):
+        # The bar path carries quadratic corners (the 4px rounded end).
+        chart = hbar_chart(self.ROWS, "t")
+        assert chart.count("Q") >= 2 * len(self.ROWS)
+
+    def test_escapes_labels(self):
+        chart = hbar_chart([('<script>"x"</script>', 1)], "t")
+        assert "<script>" not in chart
+        assert "&lt;script&gt;" in chart
+
+    def test_flags_render_in_ink_not_color(self):
+        chart = hbar_chart(
+            [("shard 0", 10), ("shard 1", 20)],
+            "t",
+            flags={"shard 1": "◀ straggler"},
+        )
+        assert "◀ straggler" in chart
+        assert 'class="flag"' in chart
+
+    def test_empty_rows(self):
+        assert "no data" in hbar_chart([], "t")
+
+
+class TestPairedHbar:
+    ROWS = [("cp-a", 100, 40), ("cp-b", 60, 55)]
+
+    def test_two_series_classes(self):
+        chart = paired_hbar_chart(self.ROWS, "t", ("present", "calls"))
+        assert chart.count('class="bar-s1"') == len(self.ROWS)
+        assert chart.count('class="bar-s2"') == len(self.ROWS)
+
+    def test_tooltip_names_both_series(self):
+        chart = paired_hbar_chart(self.ROWS, "t", ("present", "calls"))
+        assert "cp-a — present: 100, calls: 40" in chart
+
+    def test_deterministic(self):
+        first = paired_hbar_chart(self.ROWS, "t", ("a", "b"))
+        assert first == paired_hbar_chart(self.ROWS, "t", ("a", "b"))
+
+
+class TestLineChart:
+    SERIES = [("s1", "rate", [("2023-09", 5.0), ("2023-10", 9.0), ("2023-11", 7.0)])]
+
+    def test_marker_per_point_with_surface_ring(self):
+        chart = line_chart(self.SERIES, "t")
+        assert chart.count('class="dot-s1"') == 3
+        assert chart.count("<polyline") == 1
+        assert 'stroke-width="2"' in chart
+
+    def test_direct_end_label(self):
+        chart = line_chart(self.SERIES, "t")
+        assert ">7<" in chart  # last value labelled directly
+
+    def test_tooltip_carries_series_and_x(self):
+        chart = line_chart(self.SERIES, "t", unit="callers")
+        assert "rate — 2023-10: 9 callers" in chart
+
+    def test_empty_series_filtered(self):
+        assert "no data" in line_chart([], "t")
+        assert "no data" in line_chart([("s1", "x", [])], "t")
+
+    def test_multi_series(self):
+        series = self.SERIES + [
+            ("s2", "other", [("2023-09", 1.0), ("2023-10", 2.0)])
+        ]
+        chart = line_chart(series, "t")
+        assert chart.count("<polyline") == 2
+        assert 'class="dot-s2"' in chart
+
+
+class TestHtmlHelpers:
+    def test_esc(self):
+        assert esc('<a href="x">&') == "&lt;a href=&quot;x&quot;&gt;&amp;"
+
+    def test_note_and_section(self):
+        assert 'class="note"' in note("not captured")
+        body = section("Title", note("x"), desc="why")
+        assert "<h2>Title</h2>" in body and "why" in body
+
+    def test_tables_escape(self):
+        assert "&lt;b&gt;" in kv_table([("k", "<b>")])
+        table = data_table(("h",), [("<i>",)], numeric=(0,))
+        assert "&lt;i&gt;" in table and 'class="num"' in table
+
+    def test_stat_tiles_and_legend(self):
+        tiles = stat_tiles([("visits", "1,200", "ok")])
+        assert "visits" in tiles and "1,200" in tiles
+        keys = legend([("s1", "present"), ("s2", "calls")])
+        assert keys.count('class="key"') == 2
+
+    def test_page_marks_active_nav(self):
+        doc = page("T", "figures.html", "<p>b</p>")
+        assert '<a href="figures.html" class="active">' in doc
+        assert doc.count('class="active"') == 1
+        assert "<!DOCTYPE html>" in doc
+
+    def test_empty_chart_is_valid_svg(self):
+        assert empty_chart("t").startswith("<svg")
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1, 99.99, 1e6])
+def test_fmt_coord_roundtrips_floats(value):
+    assert float(fmt_coord(value)) == pytest.approx(value, abs=0.01)
