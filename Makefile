@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint validate report bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar ci study experiments examples clean
+.PHONY: install test lint validate report bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar sweep-smoke ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -63,6 +63,19 @@ bench-smoke:
 		--benchmark-json=bench-smoke.json
 	$(PY) scripts/check_bench_regression.py bench-smoke.json
 
+# Scenario sweep smoke: the CI gate's 2x2 matrix (consent vantage x
+# allow-list corruption) on the process backend, audited, then rebuilt
+# serially and diffed byte-for-byte (the same run CI's sweep job
+# performs).
+sweep-smoke:
+	rm -rf sweep-smoke-process sweep-smoke-serial
+	PYTHONPATH=src $(PY) -m repro sweep ci_smoke \
+		--out sweep-smoke-process --backend process
+	PYTHONPATH=src $(PY) -m repro validate sweep-smoke-process --sweep
+	PYTHONPATH=src $(PY) -m repro sweep ci_smoke \
+		--out sweep-smoke-serial --backend serial
+	diff -r sweep-smoke-process sweep-smoke-serial
+
 # Cross-artifact validation: the metamorphic relation suite at reduced
 # scale (the same run CI's validate job performs).
 validate:
@@ -83,10 +96,11 @@ report:
 	$(PY) scripts/check_report_links.py report-archive/report
 
 # Mirror of .github/workflows/ci.yml: lint, tier-1 suite, bench smoke,
-# metamorphic validation.
+# scenario sweep gate, metamorphic validation.
 ci: lint
 	PYTHONPATH=src $(PY) -m pytest -x -q
 	PYTHONPATH=src $(MAKE) bench-smoke
+	$(MAKE) sweep-smoke
 	$(MAKE) validate
 
 study:
@@ -110,3 +124,4 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	rm -rf sweep-smoke-process sweep-smoke-serial

@@ -1,41 +1,24 @@
 """Ablation — run the campaign with a *healthy* allow-list.
 
+Thin wrapper over the declared ``scenarios/ablation_allowlist.toml``.
 DESIGN.md: "run the crawl with the healthy list and show D_AA anomalous
-callers drop to 0."  This is the paper's observability argument: without
-the corrupted-database bug, every not-Allowed caller is blocked and §4's
-phenomenon is invisible.
+callers drop to 0."  This is the paper's observability argument, now
+encoded as bound assertions in the spec: without the corrupted-database
+bug every not-Allowed caller is blocked and §4's phenomenon is
+invisible, while legitimate usage is unaffected.
 """
 
-from conftest import show
-
-from repro.analysis.anomalous import analyze_anomalous
-from repro.analysis.classify import build_table1
-from repro.crawler.campaign import CrawlCampaign
+from conftest import run_scenario
 
 
-def test_healthy_allowlist_hides_anomalous_usage(benchmark, world, crawl):
-    campaign = CrawlCampaign(world, corrupt_allowlist=False, limit=8_000)
-    healthy = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+def test_healthy_allowlist_hides_anomalous_usage(benchmark, tmp_path):
+    outcome = run_scenario(benchmark, tmp_path, "ablation_allowlist")
 
-    report = analyze_anomalous(
-        healthy.d_aa, healthy.allowed_domains, healthy.survey, world.entities
-    )
-    table = build_table1(
-        healthy.d_ba, healthy.d_aa, healthy.allowed_domains, healthy.survey
-    )
-    corrupt_report = analyze_anomalous(
-        crawl.d_aa, crawl.allowed_domains, crawl.survey, world.entities
-    )
-    show(
-        "Ablation: healthy vs corrupted allow-list",
-        f"anomalous calls (healthy):   {report.total_calls}\n"
-        f"anomalous calls (corrupted): {corrupt_report.total_calls}\n"
-        f"D_AA !Allowed CPs (healthy): {table.aa_not_allowed}\n"
-        "→ the §4 phenomenon is only observable through the default-allow bug",
-    )
-
-    assert report.total_calls == 0
-    assert table.aa_not_allowed == 0
-    assert corrupt_report.total_calls > 0
+    assert outcome.report.ok
+    healthy = outcome.report.cell_summary("allowlist=healthy")["metrics"]
+    corrupted = outcome.report.cell_summary("allowlist=corrupted")["metrics"]
+    assert healthy["anomalous_calls"] == 0
+    assert healthy["aa_not_allowed"] == 0
+    assert corrupted["anomalous_calls"] > 0
     # Legitimate usage is unaffected by the gating mode.
-    assert table.aa_allowed_attested > 0
+    assert healthy["aa_allowed_attested"] > 0

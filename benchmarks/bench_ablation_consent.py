@@ -1,56 +1,21 @@
 """Ablation — a perfectly consent-respecting world zeroes Figure 5.
 
-DESIGN.md: "perfect-CMP world zeroes Fig 5."  With no leaky CMPs, no
-pre-consent firing by services and no rogue pre-consent calls, the entire
-questionable-usage section of the paper disappears — the phenomenon is
-fully explained by the consent-handling defects the world models.
+Thin wrapper over the declared ``scenarios/ablation_consent.toml``.
+DESIGN.md: "perfect-CMP world zeroes Fig 5."  The perfect cell zeroes
+the pre-consent multipliers and the rogue pre-consent rate and scales
+every CMP's leak rate to zero, so the questionable population collapses
+to the services whose own policy ignores the consent environment
+(yandex.com / yandex.ru) — the spec bounds it at two.
 """
 
-import dataclasses
-
-from conftest import bench_config, show
-
-from repro.analysis.questionable import figure5
-from repro.crawler.campaign import CrawlCampaign
-from repro.web.cmp import CmpCatalogue, CmpProvider
-from repro.web.generator import WebGenerator
+from conftest import run_scenario
 
 
-def _perfect_world():
-    config = bench_config(seed=1)
-    config.site_count = min(config.site_count, 8_000)
-    config.questionable_multiplier_no_banner = 0.0
-    config.questionable_multiplier_leaky_cmp = 0.0
-    config.questionable_multiplier_custom_banner = 0.0
-    config.rogue_before_rate = 0.0
-    world = WebGenerator(config).generate()
-    # Perfect CMPs: nothing leaks pre-consent.
-    perfect = CmpCatalogue(
-        tuple(
-            dataclasses.replace(provider, preconsent_leak_rate=0.0)
-            for provider in CmpCatalogue().providers
-        )
-    )
-    world.cmps = perfect
-    return world
+def test_perfect_consent_world_zeroes_figure5(benchmark, tmp_path):
+    outcome = run_scenario(benchmark, tmp_path, "ablation_consent")
 
-
-def test_perfect_consent_world_zeroes_figure5(benchmark, crawl):
-    world = _perfect_world()
-    campaign = CrawlCampaign(world, corrupt_allowlist=True)
-    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
-
-    rows = figure5(result.d_ba, result.allowed_domains, result.survey)
-    real_rows = figure5(crawl.d_ba, crawl.allowed_domains, crawl.survey)
-    show(
-        "Ablation: perfectly consent-respecting ecosystem",
-        f"questionable CPs (perfect world): {len(rows)}\n"
-        f"questionable CPs (paper's world): {len(real_rows)}",
-    )
-
-    # Legitimate (ignores_consent_environment) services like Yandex still
-    # fire pre-consent only through their own policy; with multipliers at
-    # zero every environment-respecting CP is silenced.
-    environment_ignorers = {"yandex.com", "yandex.ru"}
-    assert {row.caller for row in rows} <= environment_ignorers
-    assert len(real_rows) > len(rows)
+    assert outcome.report.ok
+    perfect = outcome.report.cell_summary("consent=perfect")["metrics"]
+    paper = outcome.report.cell_summary("consent=paper")["metrics"]
+    assert perfect["questionable_cps"] <= 2
+    assert paper["questionable_cps"] > perfect["questionable_cps"]

@@ -1,63 +1,26 @@
 """Ablation — attribute script calls to the script's URL host.
 
+Thin wrapper over the declared ``scenarios/ablation_context.toml``.
 DESIGN.md: "flip to 'script origin = script URL host' and show anomalous
-calls vanish."  Under counterfactual attribution, §4's thousands of
-per-site callers collapse onto the two library hosts actually responsible
-(googletagmanager.com and the rogue widget library) — demonstrating that
-the anomaly is purely an artefact of the platform's context-origin rule.
+calls vanish."  Under counterfactual attribution §4's per-site caller
+explosion collapses onto the library hosts actually responsible,
+demonstrating the anomaly is an artefact of the platform's
+context-origin rule.
 """
 
-from conftest import show
-
-from repro.analysis.anomalous import analyze_anomalous
-from repro.browser.script import ScriptOriginMode
-from repro.crawler.campaign import CrawlCampaign
-from repro.util.psl import same_second_level
+from conftest import run_scenario
 
 
-def test_script_url_attribution_collapses_callers(benchmark, world, crawl):
-    campaign = CrawlCampaign(
-        world,
-        corrupt_allowlist=True,
-        limit=8_000,
-        script_origin_mode=ScriptOriginMode.SCRIPT_URL,
+def test_script_url_attribution_collapses_callers(benchmark, tmp_path):
+    outcome = run_scenario(benchmark, tmp_path, "ablation_context")
+
+    assert outcome.report.ok
+    real = outcome.report.cell_summary("attribution=platform")["metrics"]
+    counterfactual = outcome.report.cell_summary(
+        "attribution=script-url"
+    )["metrics"]
+    # SIBLING/ENTITY iframes keep their own origins either way, so a
+    # small context-independent remainder survives the collapse.
+    assert (
+        counterfactual["anomalous_callers"] < 0.5 * real["anomalous_callers"]
     )
-    counterfactual = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
-
-    cf_report = analyze_anomalous(
-        counterfactual.d_aa,
-        counterfactual.allowed_domains,
-        counterfactual.survey,
-        world.entities,
-    )
-    real_report = analyze_anomalous(
-        crawl.d_aa, crawl.allowed_domains, crawl.survey, world.entities
-    )
-    show(
-        "Ablation: script calls attributed to the script URL host",
-        f"distinct anomalous callers (real platform rule): "
-        f"{real_report.distinct_callers}\n"
-        f"distinct anomalous callers (counterfactual):     "
-        f"{cf_report.distinct_callers}\n"
-        f"same-SLD share (real): "
-        f"{real_report.attribution_fraction('same-second-level-domain'):.0%}, "
-        f"(counterfactual): "
-        f"{cf_report.attribution_fraction('same-second-level-domain'):.0%}",
-    )
-
-    # The per-site caller explosion collapses toward the library hosts
-    # (SIBLING/ENTITY iframes keep their own origins either way, so a
-    # small context-independent remainder survives)...
-    assert cf_report.distinct_callers < 0.5 * real_report.distinct_callers
-    library_callers = {
-        call.caller
-        for record, call in counterfactual.d_aa.iter_calls()
-        if call.allowed
-        and call.caller not in counterfactual.allowed_domains
-        and not same_second_level(call.caller, record.domain)
-    }
-    assert "googletagmanager.com" in library_callers
-    # ...and "the call comes from the website itself" mostly disappears.
-    assert cf_report.attribution_fraction(
-        "same-second-level-domain"
-    ) < 0.5 * real_report.attribution_fraction("same-second-level-domain")

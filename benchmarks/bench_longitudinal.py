@@ -1,41 +1,27 @@
 """Extension study — continuous monitoring (paper §6's future work).
 
-Snapshots the same ranking at five dates under the adoption model
-(enrolments accumulate; services activate and ramp their A/B rates) and
-regenerates the adoption trend: Allowed parties, active CPs, the share of
-sites where a user meets the API, questionable CPs.
+Thin wrapper over the declared ``scenarios/longitudinal.toml``: each
+cell snapshots the world at one date under the adoption model
+(enrolments accumulate; services activate and ramp their A/B rates),
+and the spec asserts the trend — the allow-list only grows, the active
+caller population and the share of sites with a call rise across the
+rollout, and the anomalous population stays adoption-independent.
 """
 
-from conftest import BENCH_SITES, show
+from conftest import run_scenario
 
-from repro.longitudinal.monitor import LongitudinalMonitor, render_trend
-from repro.util.timeline import timestamp_from_date
-
-_DATES = [
-    timestamp_from_date(2023, 9, 1),
-    timestamp_from_date(2023, 12, 1),
-    timestamp_from_date(2024, 3, 30),  # the paper's crawl date
-    timestamp_from_date(2024, 9, 1),
-    timestamp_from_date(2025, 3, 1),
-]
+_FIRST = "snapshot=2023-09-01"
+_LAST = "snapshot=2025-03-01"
 
 
-def test_longitudinal_trend(benchmark, world):
-    monitor = LongitudinalMonitor(world, limit=min(BENCH_SITES, 10_000))
-    snapshots = benchmark.pedantic(
-        monitor.run, args=(_DATES,), rounds=1, iterations=1
-    )
-    show(
-        "Adoption trend (the paper is the 2024-03-30 row; §6 calls for"
-        " exactly this continuous view)",
-        render_trend(snapshots),
-    )
+def test_longitudinal_trend(benchmark, tmp_path):
+    outcome = run_scenario(benchmark, tmp_path, "longitudinal")
 
-    allowed = [snap.allowed for snap in snapshots]
-    active = [snap.active_cps for snap in snapshots]
-    share = [snap.sites_with_call_share for snap in snapshots]
-    assert allowed == sorted(allowed)
-    assert active[0] < active[-1]
-    assert share[0] < share[-1]
+    assert outcome.report.ok
+    first = outcome.report.cell_summary(_FIRST)["metrics"]
+    last = outcome.report.cell_summary(_LAST)["metrics"]
+    assert first["allowed_total"] <= last["allowed_total"]
+    assert first["aa_allowed_attested"] < last["aa_allowed_attested"]
+    assert first["sites_with_call_share"] < last["sites_with_call_share"]
     # The anomalous-caller population is adoption-independent.
-    assert len({snap.anomalous_cps for snap in snapshots}) == 1
+    assert first["anomalous_calls"] == last["anomalous_calls"]

@@ -1,38 +1,21 @@
 """Extension study — crawl-location sensitivity (paper §6's limitation).
 
-Repeats the campaign from a US vantage, where sites geo-fence their GDPR
-consent UIs: fewer banners, a smaller After-Accept population, and a
-Before-Accept web where ad stacks are more exposed.
+Thin wrapper over the declared ``scenarios/vantage.toml``: the sweep
+engine runs one campaign per vantage cell, and the spec's monotonicity
+assertions (banner and accept rates drop by ≥15% outside the GDPR)
+replace the hand-rolled EU/US comparison this bench used to make.
 """
 
-from conftest import BENCH_SITES, bench_config, show
-
-from repro.crawler.campaign import CrawlCampaign
-from repro.web.generator import WebGenerator
-from repro.web.vantage import US_VANTAGE
+from conftest import run_scenario
 
 
-def test_us_vantage_campaign(benchmark, crawl):
-    config = bench_config(seed=1)
-    config.site_count = min(BENCH_SITES, 10_000)
-    config.vantage = US_VANTAGE
-    world = WebGenerator(config).generate()
+def test_us_vantage_campaign(benchmark, tmp_path):
+    outcome = run_scenario(benchmark, tmp_path, "vantage")
 
-    us_crawl = benchmark.pedantic(
-        CrawlCampaign(world, corrupt_allowlist=True).run, rounds=1, iterations=1
-    )
-
-    eu_rate = crawl.report.accept_rate
-    us_rate = us_crawl.report.accept_rate
-    eu_banner = crawl.report.banners_seen / crawl.report.ok
-    us_banner = us_crawl.report.banners_seen / us_crawl.report.ok
-    show(
-        "Vantage sensitivity (EU = the paper's setup)",
-        f"banner rate:  EU {eu_banner:.1%}   US {us_banner:.1%}\n"
-        f"accept rate:  EU {eu_rate:.1%}   US {us_rate:.1%}\n"
-        "→ a non-EU vantage sees a visibly different consent landscape,"
-        " quantifying the paper's single-location caveat",
-    )
-
-    assert us_banner < 0.85 * eu_banner
-    assert us_rate < 0.85 * eu_rate
+    assert outcome.report.ok
+    eu = outcome.report.cell_summary("vantage=eu")["metrics"]
+    us = outcome.report.cell_summary("vantage=us")["metrics"]
+    # The spec's ratio assertions already gate these; restated so the
+    # bench fails loudly with the numbers in hand.
+    assert us["banner_rate"] < 0.85 * eu["banner_rate"]
+    assert us["accept_rate"] < 0.85 * eu["accept_rate"]

@@ -42,3 +42,26 @@ def show(title: str, body: str) -> None:
     in pytest's captured-output section otherwise)."""
     bar = "=" * 72
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def run_scenario(benchmark, out_dir, name: str):
+    """Run one declared scenario sweep at bench scale and show its report.
+
+    The scenario benches are thin wrappers over the declared specs under
+    ``scenarios/``: the spec owns the axes and cross-cell assertions, the
+    bench just executes the sweep (shrunk to ``REPRO_BENCH_SITES`` when
+    that is below the declared world size) and surfaces the report.
+    """
+    from repro.scenarios import render_sweep_report, resolve_spec, run_sweep
+
+    spec = resolve_spec(name)
+    declared = int(spec.world_dict().get("sites", 50_000))
+    if BENCH_SITES < declared:
+        spec = spec.with_world_overrides({"sites": BENCH_SITES})
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(spec, out_dir, backend="serial"),
+        rounds=1,
+        iterations=1,
+    )
+    show(f"Scenario sweep: {name}", render_sweep_report(outcome.report))
+    return outcome

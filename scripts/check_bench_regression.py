@@ -42,6 +42,43 @@ HISTORY_PATH = _REPO_ROOT / "benchmarks" / "history.jsonl"
 #: plane's acceptance metric).  Names match pytest-benchmark's ``name``.
 GATED_BENCHMARKS = ("test_crawl_throughput",)
 
+#: Exit code for "inputs unusable" (missing/unparseable JSON), distinct
+#: from 1 (regression) and 2 (results present but nothing gated), so CI
+#: can tell a broken gate from a slow crawl.
+EXIT_BAD_INPUT = 3
+
+
+class BadInputError(Exception):
+    """A results or baseline file is missing or not valid JSON."""
+
+
+def _fail_input(message: str) -> None:
+    """Report an unusable input on stderr (and the CI step summary)."""
+    print(f"error: {message}", file=sys.stderr)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as summary:
+            summary.write(f"**bench gate skipped** — {message}\n")
+    raise BadInputError(message)
+
+
+def load_json_file(path: Path, role: str, *, remedy: str = "") -> dict:
+    """Parse ``path`` as JSON, failing with a readable message (exit 3
+    via :class:`BadInputError`) instead of a traceback when the file is
+    missing or corrupt."""
+    suffix = f" {remedy}" if remedy else ""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        _fail_input(f"{role} file not found: {path}.{suffix}")
+    except OSError as exc:
+        _fail_input(f"{role} file unreadable: {path} ({exc}).{suffix}")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        _fail_input(f"{role} file is not valid JSON: {path} ({exc}).{suffix}")
+    raise AssertionError("unreachable")
+
 
 def visits_per_second(results: dict) -> dict[str, float]:
     """``benchmark name -> visits/sec`` for every gated benchmark found."""
@@ -120,7 +157,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    measured = visits_per_second(json.loads(args.results.read_text()))
+    try:
+        return _run(args)
+    except BadInputError:
+        return EXIT_BAD_INPUT
+
+
+def _run(args: argparse.Namespace) -> int:
+    measured = visits_per_second(
+        load_json_file(args.results, "results")
+    )
     if not measured:
         print(
             "error: no gated benchmark with a visits_per_second figure in "
@@ -141,7 +187,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"history appended: {args.history}")
         return 0
 
-    baseline = json.loads(args.baseline.read_text())
+    baseline = load_json_file(
+        args.baseline,
+        "baseline",
+        remedy="Run with --update to record a fresh baseline.",
+    )
     if not args.no_history:
         appended = append_history(args.history, measured, baseline)
         print(f"history appended ({appended} record(s)): {args.history}")

@@ -9,8 +9,11 @@ Commands mirror the measurement workflow:
 * ``reident`` — the re-identification risk study;
 * ``monitor`` — longitudinal monthly snapshots;
 * ``probe``   — fetch and validate one domain's attestation file;
+* ``sweep``   — expand a declarative scenario matrix and run one full
+  campaign + analysis per cell, with cross-cell assertions;
 * ``validate`` — audit an archived campaign with the invariant engine,
-  or (``--metamorphic``) re-run a small campaign under perturbations;
+  audit a sweep directory (``--sweep``), or (``--metamorphic``) re-run
+  a small campaign under perturbations;
 * ``report``  — render a self-contained static HTML report portal from
   an archived campaign and its optional observability artefacts.
 """
@@ -346,13 +349,95 @@ def _cmd_targeting(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        CellFailedError,
+        ScenarioSpecError,
+        baseline_cell,
+        expand,
+        render_cell_table,
+        render_sweep_report,
+        resolve_spec,
+        run_sweep,
+        write_sweep_page,
+    )
+
+    try:
+        spec = resolve_spec(args.spec)
+        overrides = {}
+        if args.sites is not None:
+            overrides["sites"] = args.sites
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if overrides:
+            spec = spec.with_world_overrides(overrides)
+
+        if args.list_cells:
+            cells = expand(spec)
+            baseline = baseline_cell(spec, cells)
+            print(
+                f"scenario {spec.name!r} ({spec.digest()}): "
+                f"{len(cells)} cell(s)"
+            )
+            print(render_cell_table(cells, baseline.cell_id))
+            return 0
+
+        if not args.out:
+            print("error: --out is required unless --list", file=sys.stderr)
+            return 2
+        outcome = run_sweep(
+            spec,
+            args.out,
+            backend=args.backend,
+            max_workers=args.max_workers,
+            resume=args.resume,
+        )
+    except ScenarioSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CellFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(render_sweep_report(outcome.report))
+    if outcome.resumed_cells:
+        print(f"\nresumed {len(outcome.resumed_cells)} completed cell(s)")
+    print(f"wrote sweep manifest to {outcome.manifest_path}")
+    print(
+        f"wrote sweep report page to {outcome.report_dir}/index.html"
+    )
+    if args.report_out:
+        page = write_sweep_page(outcome.report, args.report_out)
+        print(f"wrote sweep report page to {page}")
+    if args.json_out:
+        from pathlib import Path
+
+        from repro.util.fsio import atomic_write_text
+
+        atomic_write_text(Path(args.json_out), outcome.report.to_json())
+        print(f"wrote sweep JSON to {args.json_out}")
+    return 0 if outcome.report.ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validate import (
         MetamorphicHarness,
         audit_archive,
+        audit_sweep,
         render_audit,
         render_metamorphic,
     )
+
+    if args.sweep:
+        if args.archive is None:
+            print("error: a sweep directory is required with --sweep")
+            return 2
+        audit = audit_sweep(args.archive)
+        print(render_audit(audit))
+        if args.json_out:
+            audit.save(args.json_out)
+            print(f"wrote audit report to {args.json_out}")
+        return 0 if audit.ok else 1
 
     if args.metamorphic:
         import tempfile
@@ -597,6 +682,70 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("domain")
     probe.set_defaults(func=_cmd_probe)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario-matrix sweep (one campaign per cell)",
+    )
+    sweep.add_argument(
+        "spec",
+        help="declared scenario name (see scenarios/) or path to a spec TOML",
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        help="sweep output directory (cells/, sweep.json, report/)",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="cell execution backend: serial, thread (default), or process "
+        f"for multi-core parallelism; also settable via {BACKEND_ENV_VAR}",
+    )
+    sweep.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker threads/processes for concurrent cells "
+        "(default: one per cell)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose completion markers verify against the spec",
+    )
+    sweep.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_cells",
+        help="print the expanded cell table (id, axis values, fingerprint) "
+        "without running anything",
+    )
+    sweep.add_argument(
+        "--report-out",
+        default=None,
+        help="also write the sweep report page into this directory "
+        "(default: <out>/report)",
+    )
+    sweep.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the sweep manifest JSON to this file",
+    )
+    sweep.add_argument(
+        "--sites",
+        type=int,
+        default=None,
+        help="override the spec's base world size",
+    )
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the spec's base world seed",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
     validate = sub.add_parser(
         "validate",
         help="audit an archived campaign, or run the metamorphic harness",
@@ -635,6 +784,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out",
         default=None,
         help="also write the audit / metamorphic report as JSON",
+    )
+    validate.add_argument(
+        "--sweep",
+        action="store_true",
+        help="audit a sweep output directory (written by `repro sweep`) "
+        "against the sweep-level invariants instead of a campaign archive",
     )
     validate.add_argument(
         "--metamorphic",

@@ -502,6 +502,17 @@ def _world_for(spec: WorldSpec) -> "SyntheticWeb":
     return world
 
 
+def worker_world(spec: WorldSpec) -> "SyntheticWeb":
+    """Public worker-side world lookup for other task runners.
+
+    The scenario sweep engine's cell tasks rebuild their base worlds
+    through the same single-slot per-worker cache shard tasks use, so
+    cells sharing a world configuration pay the generator once per
+    worker process.
+    """
+    return _world_for(spec)
+
+
 # -- picklable shard task / result ---------------------------------------------
 
 

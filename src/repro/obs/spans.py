@@ -44,6 +44,8 @@ SPAN_ATTESTATION_FETCH = "attestation-fetch"
 SPAN_CHECKPOINT_WRITE = "checkpoint-write"
 SPAN_CHECKPOINT_RESTORE = "checkpoint-restore"
 SPAN_SHARD_RETRY = "shard-retry"
+SPAN_SWEEP = "sweep"
+SPAN_CELL = "sweep-cell"
 
 
 @dataclass(frozen=True, slots=True)

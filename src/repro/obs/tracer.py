@@ -43,6 +43,8 @@ class EventKind(str, Enum):
     CHECKPOINT_WRITTEN = "checkpoint-written"
     CHECKPOINT_RESTORED = "checkpoint-restored"
     SHARD_RETRIED = "shard-retried"
+    SWEEP_STARTED = "sweep-started"
+    CELL_COMPLETED = "cell-completed"
 
 
 @dataclass(frozen=True, slots=True)

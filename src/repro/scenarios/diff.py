@@ -1,0 +1,445 @@
+"""Cross-cell diffing: metric deltas, assertions, and the sweep report.
+
+After every cell of a sweep has run, this module compares them: each
+cell's metrics are diffed against the declared baseline cell, the
+spec's ``monotonic``/``bound`` assertions are evaluated over the full
+matrix, and everything is folded into a :class:`SweepReport` that
+renders as text (CLI), canonical JSON (the ``sweep.json`` manifest) and
+a self-contained HTML page under ``<out>/report/``.
+
+Monotonic assertions walk one axis in declared value order *for every
+combination of the other axes* — a vantage sweep crossed with an
+allow-list axis checks the banner-rate ordering once per allow-list
+value, not once over a meaningless pooled sequence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.scenarios.metrics import format_metric
+from repro.scenarios.spec import Assertion, ScenarioSpec
+from repro.util.fsio import atomic_write_text
+
+if TYPE_CHECKING:
+    from repro.scenarios.engine import CellRun
+    from repro.scenarios.matrix import Cell
+
+#: Tolerance for the non-strict directions: float metrics are rounded
+#: to six places, so anything below 1e-9 is representation noise.
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One cell metric against the baseline cell's value."""
+
+    cell_id: str
+    metric: str
+    value: int | float
+    baseline: int | float
+
+    @property
+    def delta(self) -> float:
+        return round(float(self.value) - float(self.baseline), 6)
+
+
+@dataclass(frozen=True)
+class AssertionVerdict:
+    """One evaluated assertion: what was checked, and how it went."""
+
+    description: str
+    passed: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "description": self.description,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The merged, deterministic outcome of one sweep."""
+
+    spec: ScenarioSpec
+    baseline_id: str
+    cells: tuple[dict, ...]  # per-cell summaries, sorted by cell id
+    deltas: tuple[MetricDelta, ...]
+    verdicts: tuple[AssertionVerdict, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(verdict.passed for verdict in self.verdicts)
+
+    def cell_summary(self, cell_id: str) -> dict:
+        for entry in self.cells:
+            if entry["cell_id"] == cell_id:
+                return entry
+        raise KeyError(cell_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "spec_digest": self.spec.digest(),
+            "baseline": self.baseline_id,
+            "ok": self.ok,
+            "cells": list(self.cells),
+            "deltas": [
+                {
+                    "cell_id": delta.cell_id,
+                    "metric": delta.metric,
+                    "value": delta.value,
+                    "baseline": delta.baseline,
+                    "delta": delta.delta,
+                }
+                for delta in self.deltas
+            ],
+            "assertions": [verdict.to_dict() for verdict in self.verdicts],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def build_sweep_report(
+    spec: ScenarioSpec,
+    cells: "list[Cell]",
+    baseline_id: str,
+    runs: "list[CellRun]",
+) -> SweepReport:
+    """Fold per-cell runs into the cross-cell report.
+
+    ``cells`` and ``runs`` are parallel, sorted by cell id.  The report
+    content is a pure function of the spec and the cell metrics —
+    backend, worker count and resume history leave no trace.
+    """
+    runs_by_id = {run.cell_id: run for run in runs}
+    summaries = tuple(
+        {
+            "cell_id": cell.cell_id,
+            "assignment": dict(cell.assignment),
+            "fingerprint": cell.fingerprint,
+            "archive": f"cells/{cell.cell_id}",
+            "archive_digest": runs_by_id[cell.cell_id].archive_digest,
+            "duration_seconds": runs_by_id[cell.cell_id].duration_seconds,
+            "metrics": runs_by_id[cell.cell_id].metrics_dict(),
+        }
+        for cell in cells
+    )
+    baseline_metrics = runs_by_id[baseline_id].metrics_dict()
+    deltas = tuple(
+        MetricDelta(
+            cell_id=cell.cell_id,
+            metric=metric,
+            value=value,
+            baseline=baseline_metrics[metric],
+        )
+        for cell in cells
+        if cell.cell_id != baseline_id
+        for metric, value in runs_by_id[cell.cell_id].metrics_dict().items()
+    )
+    verdicts = tuple(
+        verdict
+        for check in spec.assertions
+        for verdict in evaluate_assertion(check, cells, runs_by_id)
+    )
+    return SweepReport(
+        spec=spec,
+        baseline_id=baseline_id,
+        cells=summaries,
+        deltas=deltas,
+        verdicts=verdicts,
+    )
+
+
+def evaluate_assertion(
+    check: Assertion,
+    cells: "list[Cell]",
+    runs_by_id: "dict[str, CellRun]",
+) -> list[AssertionVerdict]:
+    if check.kind == "monotonic":
+        return _evaluate_monotonic(check, cells, runs_by_id)
+    return [_evaluate_bound(check, cells, runs_by_id)]
+
+
+def _evaluate_monotonic(
+    check: Assertion,
+    cells: "list[Cell]",
+    runs_by_id: "dict[str, CellRun]",
+) -> list[AssertionVerdict]:
+    """One verdict per combination of the non-swept axes."""
+    groups: dict[tuple[tuple[str, str], ...], dict[str, "Cell"]] = {}
+    for cell in cells:
+        rest = tuple(
+            (axis, value)
+            for axis, value in cell.assignment
+            if axis != check.axis
+        )
+        swept = cell.value_of(check.axis)
+        if swept is not None:
+            groups.setdefault(rest, {})[swept] = cell
+
+    verdicts = []
+    for rest in sorted(groups):
+        by_value = groups[rest]
+        present = [value for value in check.order if value in by_value]
+        if check.endpoints_only and len(present) >= 2:
+            present = [present[0], present[-1]]
+        if len(present) < 2:
+            continue
+        series = [
+            (value, runs_by_id[by_value[value].cell_id].metrics_dict()[check.metric])
+            for value in present
+        ]
+        failure = _check_series(series, check.direction, check.ratio)
+        context = (
+            " [" + ",".join(f"{axis}={value}" for axis, value in rest) + "]"
+            if rest
+            else ""
+        )
+        chain = " -> ".join(
+            f"{value}:{format_metric(metric)}" for value, metric in series
+        )
+        verdicts.append(
+            AssertionVerdict(
+                description=check.describe() + context,
+                passed=failure is None,
+                detail=chain if failure is None else f"{chain} — {failure}",
+            )
+        )
+    if not verdicts:
+        return [
+            AssertionVerdict(
+                description=check.describe(),
+                passed=False,
+                detail="no cell group exposes two or more values of this axis",
+            )
+        ]
+    return verdicts
+
+
+def _check_series(
+    series: list[tuple[str, int | float]], direction: str, ratio: float
+) -> str | None:
+    """The first violated step, or ``None`` when the series conforms."""
+    for (prev_name, prev), (next_name, value) in zip(series, series[1:]):
+        prev_f, value_f = float(prev), float(value)
+        step = f"{prev_name} -> {next_name}"
+        if direction == "non-increasing":
+            if value_f > ratio * prev_f + _EPSILON:
+                return f"{step} rose above {ratio:g}x"
+        elif direction == "non-decreasing":
+            if value_f < ratio * prev_f - _EPSILON:
+                return f"{step} fell below {ratio:g}x"
+        elif direction == "increasing":
+            if value_f <= prev_f:
+                return f"{step} did not increase"
+        elif direction == "decreasing":
+            if value_f >= prev_f:
+                return f"{step} did not decrease"
+        elif direction == "equal":
+            if abs(value_f - prev_f) > _EPSILON:
+                return f"{step} changed"
+    return None
+
+
+def _evaluate_bound(
+    check: Assertion,
+    cells: "list[Cell]",
+    runs_by_id: "dict[str, CellRun]",
+) -> AssertionVerdict:
+    matched = [cell for cell in cells if cell.matches(check.where)]
+    if not matched:
+        return AssertionVerdict(
+            description=check.describe(),
+            passed=False,
+            detail="no cell matches the 'where' selector",
+        )
+    failures = []
+    values = []
+    for cell in matched:
+        value = float(runs_by_id[cell.cell_id].metrics_dict()[check.metric])
+        values.append(f"{cell.cell_id}:{format_metric(value)}")
+        if check.equals is not None and abs(value - check.equals) > _EPSILON:
+            failures.append(f"{cell.cell_id} != {check.equals:g}")
+        if check.min_value is not None and value < check.min_value - _EPSILON:
+            failures.append(f"{cell.cell_id} < {check.min_value:g}")
+        if check.max_value is not None and value > check.max_value + _EPSILON:
+            failures.append(f"{cell.cell_id} > {check.max_value:g}")
+    return AssertionVerdict(
+        description=check.describe(),
+        passed=not failures,
+        detail="; ".join(failures) if failures else ", ".join(values),
+    )
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def render_sweep_report(report: SweepReport) -> str:
+    """The CLI's text rendering: cells, deltas vs baseline, verdicts."""
+    lines = [
+        f"sweep: {report.spec.name}",
+        f"  spec digest : {report.spec.digest()}",
+        f"  baseline    : {report.baseline_id}",
+        f"  cells       : {len(report.cells)}",
+        "",
+    ]
+    for entry in report.cells:
+        marker = "  *" if entry["cell_id"] == report.baseline_id else "   "
+        lines.append(
+            f"{marker}{entry['cell_id']}  fp={entry['fingerprint']}  "
+            f"archive={entry['archive_digest']}"
+        )
+    deltas = [delta for delta in report.deltas if delta.delta]
+    if deltas:
+        lines.append("")
+        lines.append("  deltas vs baseline (non-zero):")
+        for delta in deltas:
+            lines.append(
+                f"    {delta.cell_id}  {delta.metric}: "
+                f"{format_metric(delta.baseline)} -> {format_metric(delta.value)} "
+                f"({delta.delta:+g})"
+            )
+    lines.append("")
+    for verdict in report.verdicts:
+        status = "PASS" if verdict.passed else "FAIL"
+        lines.append(f"  [{status}] {verdict.description}")
+        lines.append(f"         {verdict.detail}")
+    lines.append("")
+    lines.append(f"  result: {'OK' if report.ok else 'ASSERTIONS FAILED'}")
+    return "\n".join(lines)
+
+
+def write_sweep_page(report: SweepReport, out_dir: str | Path) -> Path:
+    """Write the sweep's self-contained ``report/index.html``.
+
+    Builds its own page shell (the portal's :func:`~repro.report.html.page`
+    hardcodes the campaign portal's navigation) while reusing the shared
+    stylesheet and table helpers, so sweep pages match the portal look.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "index.html"
+    atomic_write_text(path, _sweep_page_html(report))
+    return path
+
+
+def _sweep_page_html(report: SweepReport) -> str:
+    # Imported lazily: repro.report's package init reaches back into
+    # repro.validate, which imports the sweep auditor and hence this
+    # module — a module-level import here would close that cycle.
+    from repro.report.html import (
+        STYLESHEET,
+        data_table,
+        esc,
+        kv_table,
+        note,
+        section,
+        stat_tiles,
+    )
+
+    spec = report.spec
+    passed = sum(1 for verdict in report.verdicts if verdict.passed)
+    tiles = stat_tiles(
+        [
+            ("Cells", str(len(report.cells)), "expanded matrix"),
+            (
+                "Assertions",
+                f"{passed}/{len(report.verdicts)}",
+                "passed / evaluated",
+            ),
+            ("Result", "OK" if report.ok else "FAILED", "assertion gate"),
+        ]
+    )
+    overview = section(
+        "Sweep",
+        tiles
+        + kv_table(
+            [
+                ("Scenario", spec.name),
+                ("Description", spec.description),
+                ("Spec digest", spec.digest()),
+                ("Baseline cell", report.baseline_id),
+            ]
+        ),
+    )
+
+    axis_names = sorted(axis.name for axis in spec.axes)
+    cell_rows = []
+    for entry in report.cells:
+        marker = " (baseline)" if entry["cell_id"] == report.baseline_id else ""
+        cell_rows.append(
+            [
+                entry["cell_id"] + marker,
+                *[entry["assignment"].get(axis, "-") for axis in axis_names],
+                entry["fingerprint"],
+                entry["archive_digest"],
+            ]
+        )
+    cells_card = section(
+        "Cells",
+        data_table(
+            ["cell", *axis_names, "fingerprint", "archive digest"], cell_rows
+        ),
+        desc="One full campaign + analysis pipeline per cell; archives "
+        "live under cells/<cell-id>/.",
+    )
+
+    metric_names = (
+        list(report.cells[0]["metrics"]) if report.cells else []
+    )
+    metric_rows = [
+        [metric]
+        + [format_metric(entry["metrics"][metric]) for entry in report.cells]
+        for metric in metric_names
+    ]
+    metrics_card = section(
+        "Metrics by cell",
+        data_table(
+            ["metric", *[entry["cell_id"] for entry in report.cells]],
+            metric_rows,
+            numeric=range(1, len(report.cells) + 1),
+        ),
+        desc="Campaign counters, Table 1 classification, anomalous and "
+        "questionable callers, pervasiveness share.",
+    )
+
+    verdict_rows = [
+        [
+            "PASS" if verdict.passed else "FAIL",
+            verdict.description,
+            verdict.detail,
+        ]
+        for verdict in report.verdicts
+    ]
+    verdict_body = (
+        data_table(["status", "assertion", "detail"], verdict_rows)
+        if verdict_rows
+        else note("The spec declares no assertions.")
+    )
+    verdicts_card = section(
+        "Assertions",
+        verdict_body,
+        desc="Monotonicity along declared axes and bounds on selected "
+        "cells, evaluated over the merged matrix.",
+    )
+
+    body = overview + cells_card + metrics_card + verdicts_card
+    return (
+        "<!DOCTYPE html>"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"<title>{esc('Sweep · ' + spec.name)}</title>"
+        f"<style>{STYLESHEET}</style></head><body>"
+        '<header class="site"><h1>Scenario sweep</h1>'
+        f'<p class="sub">{esc(spec.name)} · {esc(spec.digest())}</p></header>'
+        f"<main>{body}</main></body></html>"
+    )

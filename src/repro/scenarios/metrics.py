@@ -1,0 +1,100 @@
+"""Per-cell metric extraction: the numbers the cross-cell diff compares.
+
+Every cell runs the full campaign + analysis pipeline; this module
+flattens the result into one canonical ``metric -> number`` mapping —
+campaign counters, Table 1's caller classification, the §4 anomalous
+report, Figure 5's questionable population, and the pervasiveness
+share.  Floats are rounded to a fixed precision so the mapping (and
+everything derived from it: cell markers, manifests, reports) is
+byte-deterministic across backends and resumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.anomalous import analyze_anomalous
+from repro.analysis.classify import build_table1
+from repro.analysis.pervasiveness import (
+    legitimate_callers,
+    share_of_sites_with_call,
+)
+from repro.analysis.questionable import figure5
+
+if TYPE_CHECKING:
+    from repro.crawler.campaign import CrawlResult
+    from repro.web.generator import SyntheticWeb
+
+#: Every metric a cell reports, in presentation order.  Assertions may
+#: reference any of these by name.
+METRIC_NAMES = (
+    "targets",
+    "ok",
+    "failed",
+    "banners_seen",
+    "accepted",
+    "accept_rate",
+    "banner_rate",
+    "allowed_total",
+    "allowed_unattested",
+    "aa_allowed_attested",
+    "aa_not_allowed_attested",
+    "aa_not_allowed",
+    "ba_allowed_attested",
+    "ba_not_allowed",
+    "anomalous_calls",
+    "anomalous_callers",
+    "questionable_cps",
+    "sites_with_call_share",
+)
+
+_FLOAT_PRECISION = 6
+
+
+def cell_metrics(result: "CrawlResult", world: "SyntheticWeb") -> dict:
+    """The canonical metric mapping for one cell's campaign result."""
+    report = result.report
+    table = build_table1(
+        result.d_ba, result.d_aa, result.allowed_domains, result.survey
+    )
+    anomalous = analyze_anomalous(
+        result.d_aa, result.allowed_domains, result.survey, world.entities
+    )
+    questionable = figure5(result.d_ba, result.allowed_domains, result.survey)
+    legit = legitimate_callers(result.allowed_domains, result.survey)
+    values = {
+        "targets": report.targets,
+        "ok": report.ok,
+        "failed": report.failed,
+        "banners_seen": report.banners_seen,
+        "accepted": report.accepted,
+        "accept_rate": report.accept_rate,
+        "banner_rate": report.banners_seen / report.ok if report.ok else 0.0,
+        "allowed_total": table.allowed_total,
+        "allowed_unattested": table.allowed_unattested,
+        "aa_allowed_attested": table.aa_allowed_attested,
+        "aa_not_allowed_attested": table.aa_not_allowed_attested,
+        "aa_not_allowed": table.aa_not_allowed,
+        "ba_allowed_attested": table.ba_allowed_attested,
+        "ba_not_allowed": table.ba_not_allowed,
+        "anomalous_calls": anomalous.total_calls,
+        "anomalous_callers": anomalous.distinct_callers,
+        "questionable_cps": len(questionable),
+        "sites_with_call_share": share_of_sites_with_call(result.d_aa, legit),
+    }
+    return {name: _canonical(values[name]) for name in METRIC_NAMES}
+
+
+def _canonical(value) -> int | float:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return int(value)
+    if isinstance(value, int):
+        return value
+    return round(float(value), _FLOAT_PRECISION)
+
+
+def format_metric(value: int | float) -> str:
+    """Fixed-format rendering for tables (ints plain, floats 4 places)."""
+    if isinstance(value, int):
+        return f"{value:,}"
+    return f"{value:.4f}"

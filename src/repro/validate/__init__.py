@@ -49,6 +49,7 @@ from repro.validate.metamorphic import (
     render_metamorphic,
 )
 from repro.validate.rules import RULE_REGISTRY, Rule, Severity, Violation, rule
+from repro.validate.sweep import SWEEP_RULES, audit_sweep
 
 __all__ = [
     "ARTIFACT_ALLOWLIST",
@@ -70,9 +71,11 @@ __all__ = [
     "RULE_REGISTRY",
     "Rule",
     "RuleOutcome",
+    "SWEEP_RULES",
     "Severity",
     "Violation",
     "audit_archive",
+    "audit_sweep",
     "audit_artifacts",
     "compare_archives",
     "render_audit",

@@ -318,3 +318,103 @@ class TestValidateCommand:
         payload = json.loads((tmp_path / "meta.json").read_text())
         assert payload["ok"] is True
         assert len(payload["relations"]) == 6
+
+
+_TINY_SWEEP_TOML = """\
+name = "cli-tiny"
+
+[world]
+sites = 300
+seed = 5
+
+[[axes]]
+name = "allowlist"
+[[axes.values]]
+name = "corrupted"
+allowlist = "corrupted"
+[[axes.values]]
+name = "healthy"
+allowlist = "healthy"
+
+[baseline]
+allowlist = "corrupted"
+
+[[assertions]]
+kind = "bound"
+metric = "anomalous_calls"
+where.allowlist = "healthy"
+equals = 0
+"""
+
+
+class TestSweepCommand:
+    def test_sweep_list_prints_cell_table(self, capsys):
+        code = main(["sweep", "ci_smoke", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 cell(s)" in out
+        assert "allowlist=corrupted,vantage=eu *baseline" in out
+        assert "allowlist=healthy,vantage=us" in out
+
+    def test_sweep_requires_out(self, capsys):
+        code = main(["sweep", "ci_smoke"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--out is required" in err
+
+    def test_sweep_unknown_scenario_errors(self, capsys):
+        code = main(["sweep", "nope_not_a_scenario", "--out", "x"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "declared" in err
+
+    def test_sweep_runs_and_audit_passes(self, capsys, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(_TINY_SWEEP_TOML)
+        out_dir = tmp_path / "sweep"
+        json_out = tmp_path / "sweep-report.json"
+        code = main(
+            [
+                "sweep",
+                str(spec_path),
+                "--out",
+                str(out_dir),
+                "--backend",
+                "serial",
+                "--json-out",
+                str(json_out),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result: OK" in out
+        assert "[PASS] anomalous_calls == 0 where allowlist=healthy" in out
+        assert (out_dir / "sweep.json").exists()
+        assert (out_dir / "report" / "index.html").exists()
+        import json
+
+        payload = json.loads(json_out.read_text())
+        assert payload["ok"] is True
+        assert payload["scenario"] == "cli-tiny"
+        assert len(payload["cells"]) == 2
+
+        code = main(["validate", str(out_dir), "--sweep"])
+        audit_out = capsys.readouterr().out
+        assert code == 0
+        assert "RESULT: PASS" in audit_out
+        assert "sweep-archive-integrity" in audit_out
+
+    def test_validate_sweep_requires_directory(self, capsys):
+        code = main(["validate", "--sweep"])
+        out = capsys.readouterr().out + capsys.readouterr().err
+        assert code == 2
+
+    def test_sweep_sites_override(self, capsys, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(_TINY_SWEEP_TOML)
+        code = main(
+            ["sweep", str(spec_path), "--sites", "250", "--list"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 cell(s)" in out

@@ -1,0 +1,233 @@
+"""Matrix expansion properties: order independence, collision freedom."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios.matrix import (
+    baseline_cell,
+    cell_id_of,
+    expand,
+    render_cell_table,
+)
+from repro.scenarios.spec import ScenarioSpec, ScenarioSpecError
+
+#: Distinct WorldConfig fields the generated axes may override — one per
+#: axis, so generated specs never trip the cross-axis conflict check.
+_AXIS_FIELDS = (
+    "rogue_before_rate",
+    "questionable_multiplier_no_banner",
+    "questionable_multiplier_leaky_cmp",
+)
+
+
+@st.composite
+def spec_dicts(draw):
+    """A small random spec: 1-3 axes, 1-3 values each, numeric params."""
+    axis_count = draw(st.integers(min_value=1, max_value=3))
+    axes = []
+    for index in range(axis_count):
+        value_count = draw(st.integers(min_value=1, max_value=3))
+        values = [
+            {
+                "name": f"v{value_index}",
+                "world": {
+                    _AXIS_FIELDS[index]: draw(
+                        st.floats(
+                            min_value=0.0,
+                            max_value=1.0,
+                            allow_nan=False,
+                            width=32,
+                        )
+                    )
+                },
+            }
+            for value_index in range(value_count)
+        ]
+        axes.append({"name": f"axis{index}", "values": values})
+    return {
+        "name": "prop",
+        "world": {"sites": 500, "seed": 1},
+        "axes": axes,
+    }
+
+
+@given(raw=spec_dicts(), seed=st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_expansion_is_order_independent(raw, seed):
+    """Shuffling axes and values changes neither cell ids nor prints."""
+    reference = expand(ScenarioSpec.from_dict(raw))
+
+    shuffled = dict(raw)
+    shuffled["axes"] = [dict(axis) for axis in raw["axes"]]
+    seed.shuffle(shuffled["axes"])
+    for axis in shuffled["axes"]:
+        axis["values"] = list(axis["values"])
+        seed.shuffle(axis["values"])
+    permuted = expand(ScenarioSpec.from_dict(shuffled))
+
+    assert [cell.cell_id for cell in permuted] == [
+        cell.cell_id for cell in reference
+    ]
+    assert [cell.fingerprint for cell in permuted] == [
+        cell.fingerprint for cell in reference
+    ]
+    assert [cell.config for cell in permuted] == [
+        cell.config for cell in reference
+    ]
+
+
+@given(raw=spec_dicts())
+@settings(max_examples=40, deadline=None)
+def test_distinct_cells_have_distinct_fingerprints(raw):
+    cells = expand(ScenarioSpec.from_dict(raw))
+    ids = [cell.cell_id for cell in cells]
+    fingerprints = [cell.fingerprint for cell in cells]
+    assert len(set(ids)) == len(ids)
+    assert len(set(fingerprints)) == len(fingerprints)
+    expected = 1
+    for axis in raw["axes"]:
+        expected *= len(axis["values"])
+    assert len(cells) == expected
+
+
+def test_identical_param_bundles_still_collision_free():
+    """Two values with byte-identical params get distinct fingerprints."""
+    spec = ScenarioSpec.from_dict(
+        {
+            "name": "same-params",
+            "world": {"sites": 500},
+            "axes": [
+                {
+                    "name": "copy",
+                    "values": [{"name": "a"}, {"name": "b"}],
+                }
+            ],
+        }
+    )
+    first, second = expand(spec)
+    assert first.config == second.config
+    assert first.fingerprint != second.fingerprint
+
+
+def two_axis_spec(**extra) -> ScenarioSpec:
+    raw = {
+        "name": "two",
+        "world": {"sites": 500},
+        "axes": [
+            {
+                "name": "vantage",
+                "values": [
+                    {"name": "eu", "vantage": "eu"},
+                    {"name": "us", "vantage": "us"},
+                ],
+            },
+            {
+                "name": "allowlist",
+                "values": [
+                    {"name": "corrupted", "allowlist": "corrupted"},
+                    {"name": "healthy", "allowlist": "healthy"},
+                ],
+            },
+        ],
+        "baseline": {"vantage": "eu", "allowlist": "corrupted"},
+    }
+    raw.update(extra)
+    return ScenarioSpec.from_dict(raw)
+
+
+class TestConstraints:
+    def test_exclude_drops_matching_cells(self):
+        spec = two_axis_spec(
+            exclude=[{"vantage": "us", "allowlist": "healthy"}]
+        )
+        ids = [cell.cell_id for cell in expand(spec)]
+        assert "allowlist=healthy,vantage=us" not in ids
+        assert len(ids) == 3
+
+    def test_include_keeps_only_matching_cells(self):
+        spec = two_axis_spec(include=[{"vantage": "eu"}])
+        ids = [cell.cell_id for cell in expand(spec)]
+        assert ids == [
+            "allowlist=corrupted,vantage=eu",
+            "allowlist=healthy,vantage=eu",
+        ]
+
+    def test_empty_matrix_is_an_error(self):
+        spec = two_axis_spec(
+            include=[{"vantage": "eu"}], exclude=[{"vantage": "eu"}]
+        )
+        with pytest.raises(ScenarioSpecError, match="no cells"):
+            expand(spec)
+
+    def test_cross_axis_conflict_is_an_error(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "conflict",
+                "world": {"sites": 500},
+                "axes": [
+                    {
+                        "name": "a",
+                        "values": [{"name": "x", "vantage": "eu"}],
+                    },
+                    {
+                        "name": "b",
+                        "values": [{"name": "y", "vantage": "us"}],
+                    },
+                ],
+            }
+        )
+        with pytest.raises(ScenarioSpecError, match="both set"):
+            expand(spec)
+
+
+class TestBaseline:
+    def test_declared_baseline_resolves(self):
+        spec = two_axis_spec()
+        cells = expand(spec)
+        assert (
+            baseline_cell(spec, cells).cell_id
+            == "allowlist=corrupted,vantage=eu"
+        )
+
+    def test_single_valued_axes_default_implicitly(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "implicit",
+                "world": {"sites": 500},
+                "axes": [
+                    {
+                        "name": "vantage",
+                        "values": [{"name": "eu", "vantage": "eu"}],
+                    }
+                ],
+            }
+        )
+        cells = expand(spec)
+        assert baseline_cell(spec, cells).cell_id == "vantage=eu"
+
+    def test_unpinned_multi_valued_axis_is_an_error(self):
+        spec = two_axis_spec(baseline={"vantage": "eu"})
+        with pytest.raises(ScenarioSpecError, match="must pin"):
+            baseline_cell(spec, expand(spec))
+
+    def test_filtered_out_baseline_is_an_error(self):
+        spec = two_axis_spec(exclude=[{"vantage": "eu"}])
+        with pytest.raises(ScenarioSpecError, match="not in the"):
+            baseline_cell(spec, expand(spec))
+
+
+def test_cell_id_is_canonical():
+    assert (
+        cell_id_of((("vantage", "eu"), ("allowlist", "healthy")))
+        == "allowlist=healthy,vantage=eu"
+    )
+
+
+def test_render_cell_table_lists_every_cell():
+    spec = two_axis_spec()
+    cells = expand(spec)
+    table = render_cell_table(cells, baseline_id=cells[0].cell_id)
+    for cell in cells:
+        assert cell.cell_id in table
+        assert cell.fingerprint in table
+    assert "*baseline" in table
