@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint validate report bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar sweep-smoke ci study experiments examples clean
+.PHONY: install test lint validate report bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar bench-reid sweep-smoke ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -51,14 +51,27 @@ bench-columnar:
 		--benchmark-only \
 		--benchmark-json=bench-columnar.json
 
+# The population data plane's acceptance pair: study throughput and the
+# scaling curve at the scale the PR baselines were measured
+# (1,000 users), recording reid_users_per_second into the JSON artifact.
+bench-reid:
+	REPRO_BENCH_REID_USERS=1000 $(PY) -m pytest \
+		benchmarks/bench_reidentification.py::test_reid_throughput \
+		benchmarks/bench_reidentification.py::test_reid_scaling \
+		--benchmark-only \
+		--benchmark-json=bench-reid.json
+
 # The reduced-scale benchmark job CI runs on every push: the bench run
-# records visits/sec into the JSON artifact, and the regression gate
-# fails on a >30% drop versus the committed baseline.
+# records visits/sec and reid users/sec into the JSON artifact, and the
+# regression gate fails on a >30% drop versus the committed baseline.
 bench-smoke:
-	REPRO_BENCH_SITES=2000 $(PY) -m pytest \
+	REPRO_BENCH_SITES=2000 REPRO_BENCH_REID_USERS=500 \
+	REPRO_BENCH_REID_SCALES=150,300 $(PY) -m pytest \
 		benchmarks/bench_crawl_throughput.py \
 		benchmarks/bench_parallel_crawl.py \
 		benchmarks/bench_checkpoint.py \
+		benchmarks/bench_reidentification.py::test_reid_throughput \
+		benchmarks/bench_reidentification.py::test_reid_scaling \
 		--benchmark-only \
 		--benchmark-json=bench-smoke.json
 	$(PY) scripts/check_bench_regression.py bench-smoke.json

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Gate crawl-throughput regressions against a committed baseline.
+"""Gate throughput regressions against a committed baseline.
 
-Reads a ``pytest-benchmark --benchmark-json`` results file, pulls the
-``visits_per_second`` figure each crawl benchmark records into its
+Reads a ``pytest-benchmark --benchmark-json`` results file, pulls each
+gated benchmark's throughput figure (``visits_per_second`` for the crawl
+plane, ``reid_users_per_second`` for the population data plane) from its
 ``extra_info``, and compares it against the committed baseline
 (``benchmarks/baseline_visits_per_second.json``).  A benchmark that
 drops more than the allowed fraction below its baseline fails the run;
@@ -38,9 +39,14 @@ BASELINE_PATH = _REPO_ROOT / "benchmarks" / "baseline_visits_per_second.json"
 #: Append-only trajectory consumed by the report portal's bench page.
 HISTORY_PATH = _REPO_ROOT / "benchmarks" / "history.jsonl"
 
-#: Benchmarks gated on their recorded visits/sec (the columnar data
-#: plane's acceptance metric).  Names match pytest-benchmark's ``name``.
-GATED_BENCHMARKS = ("test_crawl_throughput",)
+#: Gated benchmarks and the ``extra_info`` key each records its
+#: throughput under.  Names match pytest-benchmark's ``name``; the key
+#: also names the metric in history records, so the report portal can
+#: chart heterogeneous trajectories side by side.
+GATED_BENCHMARKS = {
+    "test_crawl_throughput": "visits_per_second",
+    "test_reid_throughput": "reid_users_per_second",
+}
 
 #: Exit code for "inputs unusable" (missing/unparseable JSON), distinct
 #: from 1 (regression) and 2 (results present but nothing gated), so CI
@@ -80,14 +86,15 @@ def load_json_file(path: Path, role: str, *, remedy: str = "") -> dict:
     raise AssertionError("unreachable")
 
 
-def visits_per_second(results: dict) -> dict[str, float]:
-    """``benchmark name -> visits/sec`` for every gated benchmark found."""
+def gated_rates(results: dict) -> dict[str, float]:
+    """``benchmark name -> throughput`` for every gated benchmark found."""
     rates: dict[str, float] = {}
     for bench in results.get("benchmarks", ()):
         name = bench.get("name", "")
-        if name not in GATED_BENCHMARKS:
+        metric = GATED_BENCHMARKS.get(name)
+        if metric is None:
             continue
-        rate = bench.get("extra_info", {}).get("visits_per_second")
+        rate = bench.get("extra_info", {}).get(metric)
         if rate:
             rates[name] = float(rate)
     return rates
@@ -111,9 +118,11 @@ def append_history(
             if line.strip()
         ]
     for name, rate in sorted(measured.items()):
+        metric = GATED_BENCHMARKS.get(name, "visits_per_second")
         record = {
             "benchmark": name,
-            "visits_per_second": round(rate, 3),
+            metric: round(rate, 3),
+            "metric": metric,
             "baseline": baseline.get(name),
             "commit": os.environ.get("GITHUB_SHA") or None,
         }
@@ -164,12 +173,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
-    measured = visits_per_second(
-        load_json_file(args.results, "results")
-    )
+    measured = gated_rates(load_json_file(args.results, "results"))
     if not measured:
         print(
-            "error: no gated benchmark with a visits_per_second figure in "
+            "error: no gated benchmark with a throughput figure in "
             f"{args.results} (expected one of: {', '.join(GATED_BENCHMARKS)})",
             file=sys.stderr,
         )
@@ -181,7 +188,8 @@ def _run(args: argparse.Namespace) -> int:
         )
         print(f"baseline updated: {args.baseline}")
         for name, rate in sorted(measured.items()):
-            print(f"  {name}: {rate:,.0f} visits/sec")
+            metric = GATED_BENCHMARKS.get(name, "visits_per_second")
+            print(f"  {name}: {rate:,.0f} {metric}")
         if not args.no_history:
             append_history(args.history, measured, measured)
             print(f"history appended: {args.history}")
@@ -197,9 +205,10 @@ def _run(args: argparse.Namespace) -> int:
         print(f"history appended ({appended} record(s)): {args.history}")
     failures = []
     for name, rate in sorted(measured.items()):
+        metric = GATED_BENCHMARKS.get(name, "visits_per_second")
         reference = baseline.get(name)
         if reference is None:
-            print(f"  {name}: {rate:,.0f} visits/sec (no baseline; skipped)")
+            print(f"  {name}: {rate:,.0f} {metric} (no baseline; skipped)")
             continue
         change = rate / reference - 1.0
         status = "ok"
@@ -207,13 +216,13 @@ def _run(args: argparse.Namespace) -> int:
             status = "REGRESSION"
             failures.append(name)
         print(
-            f"  {name}: {rate:,.0f} visits/sec vs baseline "
+            f"  {name}: {rate:,.0f} {metric} vs baseline "
             f"{reference:,.0f} ({change:+.1%}) {status}"
         )
 
     if failures:
         print(
-            f"error: visits/sec regressed more than "
+            f"error: throughput regressed more than "
             f"{args.max_regression:.0%} on: {', '.join(failures)}",
             file=sys.stderr,
         )

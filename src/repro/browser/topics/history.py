@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.util.timeline import Timestamp, epoch_index
 
@@ -42,6 +43,22 @@ class BrowsingHistory:
         record = self._epochs[epoch]
         record.visit_counts[site] += 0  # ensure the site exists in the epoch
         record.observers[site].add(caller)
+
+    def record_observed_visit(
+        self, site: str, at: Timestamp, callers: Iterable[str]
+    ) -> None:
+        """Record one navigation plus every caller that observed it.
+
+        The batched equivalent of :meth:`record_page_visit` followed by
+        one :meth:`record_observation` per caller — one epoch lookup for
+        the whole visit, which is what the population trace generator's
+        hot loop needs at millions of visits.
+        """
+        record = self._epochs[epoch_index(at)]
+        record.visit_counts[site] += 1
+        observers = record.observers[site]
+        for caller in callers:
+            observers.add(caller)
 
     # -- queries ---------------------------------------------------------------
 

@@ -297,9 +297,19 @@ def _cmd_reident(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print("Re-identification risk vs observation epochs:")
-    print(render_sweep(sweep_epochs(base), "epochs"))
+    print(
+        render_sweep(
+            sweep_epochs(base, backend=args.backend, max_workers=args.max_workers),
+            "epochs",
+        )
+    )
     print("\nRe-identification risk vs noise rate:")
-    print(render_sweep(sweep_noise(base), "noise"))
+    print(
+        render_sweep(
+            sweep_noise(base, backend=args.backend, max_workers=args.max_workers),
+            "noise",
+        )
+    )
     return 0
 
 
@@ -645,6 +655,21 @@ def build_parser() -> argparse.ArgumentParser:
     reident.add_argument("--epochs", type=int, default=4)
     reident.add_argument("--noise", type=float, default=0.05)
     reident.add_argument("--seed", type=int, default=7)
+    reident.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="execution backend for trace generation and ranking: serial, "
+        "thread (default), or process for multi-core parallelism; also "
+        f"settable via {BACKEND_ENV_VAR}",
+    )
+    reident.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker threads/processes for the study stages "
+        "(default: one per CPU)",
+    )
     reident.set_defaults(func=_cmd_reident)
 
     monitor = sub.add_parser("monitor", help="longitudinal monthly snapshots")

@@ -46,6 +46,8 @@ SPAN_CHECKPOINT_RESTORE = "checkpoint-restore"
 SPAN_SHARD_RETRY = "shard-retry"
 SPAN_SWEEP = "sweep"
 SPAN_CELL = "sweep-cell"
+SPAN_REID_TRACES = "reid-traces"
+SPAN_REID_LINKAGE = "reid-linkage"
 
 
 @dataclass(frozen=True, slots=True)

@@ -11,6 +11,7 @@ attempt to link the two views of the same user
 """
 
 from repro.privacy.attack import (
+    LINKAGE_STRATEGIES,
     LinkageResult,
     SequenceMatcher,
     TopicOverlapMatcher,
@@ -25,6 +26,7 @@ from repro.privacy.experiment import (
 )
 
 __all__ = [
+    "LINKAGE_STRATEGIES",
     "LinkageResult",
     "ReidentificationConfig",
     "ReidentificationResult",

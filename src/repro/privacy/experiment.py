@@ -6,12 +6,20 @@ a population of users with stable interests browses for ``burn_in`` +
 the users visit) each collect the per-epoch topic answers the API gives
 them; a matcher then links the two views.  Sweeps quantify how linkage
 accuracy grows with observation epochs and shrinks with the noise rate.
+
+Both stages run on the population data plane: trace generation shards
+users over the shared execution backends into columnar
+:class:`~repro.users.columnar.TraceBuffers`, and the linkage attack uses
+the sparse bitset/inverted-index ranker once the population is large
+enough.  Results are byte-identical to the original per-user loop for
+every backend and shard count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.obs import MetricsRegistry, NULL_METRICS, NULL_RECORDER, SpanRecorder
 from repro.privacy.attack import (
     LinkageResult,
     ProfileMatcher,
@@ -20,6 +28,7 @@ from repro.privacy.attack import (
 )
 from repro.users.browsing import TraceGenerator
 from repro.users.population import Population
+from repro.util.executor import ExecutionBackend
 
 
 @dataclass(frozen=True)
@@ -40,6 +49,12 @@ class ReidentificationConfig:
             raise ValueError("population_size must be positive")
         if self.observation_epochs <= 0:
             raise ValueError("observation_epochs must be positive")
+        if self.burn_in_epochs < 0:
+            raise ValueError("burn_in_epochs must be non-negative")
+        if self.visits_per_epoch <= 0:
+            raise ValueError("visits_per_epoch must be positive")
+        if not 0.0 <= self.noise_probability <= 1.0:
+            raise ValueError("noise_probability must be within [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -63,8 +78,19 @@ def run_reidentification(
     config: ReidentificationConfig,
     matcher: ProfileMatcher | None = None,
     population: Population | None = None,
+    *,
+    backend: "str | ExecutionBackend | None" = None,
+    max_workers: int | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
+    spans: SpanRecorder = NULL_RECORDER,
 ) -> ReidentificationResult:
-    """Execute one full study."""
+    """Execute one full study.
+
+    ``backend``/``max_workers`` pick the execution backend for both the
+    trace-generation and ranking stages (same semantics as the crawl
+    plane, ``REPRO_CRAWL_BACKEND``-aware); the result is identical on
+    every backend.  ``metrics``/``spans`` observe both stages.
+    """
     matcher = matcher if matcher is not None else SequenceMatcher()
     if population is None:
         population = Population.generate(
@@ -78,29 +104,42 @@ def run_reidentification(
     )
 
     total_epochs = config.burn_in_epochs + config.observation_epochs
-    query_epochs = list(
-        range(config.burn_in_epochs, config.burn_in_epochs + config.observation_epochs)
+    query_epochs = range(
+        config.burn_in_epochs, config.burn_in_epochs + config.observation_epochs
     )
 
-    views_a = []
-    views_b = []
-    for user_id in range(len(population)):
-        session = generator.run(user_id, total_epochs)
-        views_a.append(
-            generator.observed_topics(session, config.caller_a, query_epochs)
-        )
-        views_b.append(
-            generator.observed_topics(session, config.caller_b, query_epochs)
-        )
+    buffers = generator.run_many(
+        total_epochs,
+        query_epochs,
+        backend=backend,
+        max_workers=max_workers,
+        metrics=metrics,
+        spans=spans,
+    )
+    views_a = buffers.views_for(config.caller_a)
+    views_b = buffers.views_for(config.caller_b)
 
-    linkage = link_profiles(views_a, views_b, matcher)
+    linkage = link_profiles(
+        views_a,
+        views_b,
+        matcher,
+        backend=backend,
+        max_workers=max_workers,
+        metrics=metrics,
+        spans=spans,
+    )
     return ReidentificationResult(config=config, linkage=linkage)
 
 
 def sweep_epochs(
     base: ReidentificationConfig,
-    epoch_counts: list[int] = [1, 2, 4, 8],
+    epoch_counts: "tuple[int, ...] | list[int]" = (1, 2, 4, 8),
     matcher: ProfileMatcher | None = None,
+    *,
+    backend: "str | ExecutionBackend | None" = None,
+    max_workers: int | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
+    spans: SpanRecorder = NULL_RECORDER,
 ) -> list[ReidentificationResult]:
     """Accuracy as a function of how long the attacker observes."""
     population = Population.generate(base.population_size, seed=base.seed)
@@ -109,6 +148,10 @@ def sweep_epochs(
             replace(base, observation_epochs=epochs),
             matcher=matcher,
             population=population,
+            backend=backend,
+            max_workers=max_workers,
+            metrics=metrics,
+            spans=spans,
         )
         for epochs in epoch_counts
     ]
@@ -116,8 +159,13 @@ def sweep_epochs(
 
 def sweep_noise(
     base: ReidentificationConfig,
-    noise_levels: list[float] = [0.0, 0.05, 0.25, 0.5],
+    noise_levels: "tuple[float, ...] | list[float]" = (0.0, 0.05, 0.25, 0.5),
     matcher: ProfileMatcher | None = None,
+    *,
+    backend: "str | ExecutionBackend | None" = None,
+    max_workers: int | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
+    spans: SpanRecorder = NULL_RECORDER,
 ) -> list[ReidentificationResult]:
     """Accuracy as a function of the plausible-deniability noise rate.
 
@@ -130,6 +178,10 @@ def sweep_noise(
             replace(base, noise_probability=noise),
             matcher=matcher,
             population=population,
+            backend=backend,
+            max_workers=max_workers,
+            metrics=metrics,
+            spans=spans,
         )
         for noise in noise_levels
     ]
@@ -138,8 +190,7 @@ def sweep_noise(
 def render_sweep(results: list[ReidentificationResult], variable: str) -> str:
     """Text table for a sweep (the bench output)."""
     lines = [
-        f"{'=':>1}".replace("=", "")  # keep layout simple
-        + f"{variable:<18} {'top-1':>8} {'top-5':>8} {'mean rank':>10}"
+        f"{variable:<18} {'top-1':>8} {'top-5':>8} {'mean rank':>10}"
         f" {'random':>8} {'uplift':>8}"
     ]
     for result in results:

@@ -35,6 +35,32 @@ def load_history(path: str | Path | None) -> list[dict]:
     return records
 
 
+#: Throughput keys a history record may carry, in probe order.  Older
+#: records predate the ``metric`` field and only carry the crawl key.
+METRIC_KEYS = ("visits_per_second", "reid_users_per_second")
+
+
+def metric_of(record: dict) -> str:
+    """The throughput metric a history record carries.
+
+    New records name it in their ``metric`` field; for older ones the
+    known keys are probed, defaulting to the crawl plane's visits/sec.
+    """
+    metric = record.get("metric")
+    if metric:
+        return str(metric)
+    for key in METRIC_KEYS:
+        if key in record:
+            return key
+    return "visits_per_second"
+
+
+def rate_of(record: dict) -> float:
+    """A history record's throughput figure (0.0 when absent)."""
+    value = record.get(metric_of(record))
+    return float(value) if value is not None else 0.0
+
+
 def history_series(records: list[dict]) -> dict[str, list[dict]]:
     """Group history records per benchmark name, run order preserved."""
     series: dict[str, list[dict]] = {}

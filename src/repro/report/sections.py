@@ -17,7 +17,7 @@ from repro.analysis.obs_report import (
     render_trace_health,
 )
 from repro.obs.profile import build_profile
-from repro.report.bench import history_series
+from repro.report.bench import history_series, metric_of, rate_of
 from repro.report.html import (
     data_table,
     detail_table,
@@ -910,10 +910,11 @@ def render_bench_page(history: list[dict]) -> str:
         if i >= len(slots):
             break
         points = [
-            (str(j + 1), float(record.get("visits_per_second", 0.0)))
-            for j, record in enumerate(records)
+            (str(j + 1), rate_of(record)) for j, record in enumerate(records)
         ]
-        chart_series.append((slots[i], name, points))
+        metrics = {metric_of(record) for record in records}
+        label = name if len(metrics) != 1 else f"{name} ({metrics.pop()})"
+        chart_series.append((slots[i], label, points))
     body = ""
     if len(chart_series) > 1:
         body += legend(
@@ -921,8 +922,8 @@ def render_bench_page(history: list[dict]) -> str:
         )
     body += line_chart(
         chart_series,
-        "Bench trajectory — visits per second by run",
-        unit="visits/s",
+        "Bench trajectory — throughput by run",
+        unit="per sec",
     )
     if len(series) > len(slots):
         body += note(
@@ -933,7 +934,8 @@ def render_bench_page(history: list[dict]) -> str:
         section(
             "Throughput trajectory",
             body,
-            "visits/sec per gated bench run, in run order (append order of "
+            "throughput per gated bench run (crawl visits/sec and "
+            "re-identification users/sec), in run order (append order of "
             "history.jsonl).",
         )
     )
@@ -945,7 +947,8 @@ def render_bench_page(history: list[dict]) -> str:
                 (
                     name,
                     j + 1,
-                    f"{float(record.get('visits_per_second', 0.0)):,.1f}",
+                    metric_of(record),
+                    f"{rate_of(record):,.1f}",
                     (
                         f"{float(record['baseline']):,.1f}"
                         if record.get("baseline") is not None
@@ -958,9 +961,9 @@ def render_bench_page(history: list[dict]) -> str:
         section(
             "Recorded runs",
             data_table(
-                ("benchmark", "run", "visits/s", "baseline", "commit"),
+                ("benchmark", "run", "metric", "rate", "baseline", "commit"),
                 rows,
-                numeric=(1, 2, 3),
+                numeric=(1, 3, 4),
             ),
         )
     )

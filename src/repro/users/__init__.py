@@ -10,7 +10,16 @@ over many epochs.
 """
 
 from repro.users.browsing import TraceGenerator, UserTopicsSession
-from repro.users.population import Population
+from repro.users.columnar import TraceBuffers, TraceView
+from repro.users.population import Population, PopulationSpec
 from repro.users.profile import UserProfile
 
-__all__ = ["Population", "TraceGenerator", "UserProfile", "UserTopicsSession"]
+__all__ = [
+    "Population",
+    "PopulationSpec",
+    "TraceBuffers",
+    "TraceGenerator",
+    "TraceView",
+    "UserProfile",
+    "UserTopicsSession",
+]

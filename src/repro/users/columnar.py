@@ -1,0 +1,243 @@
+"""Columnar (struct-of-arrays) storage for population topic traces.
+
+The re-identification pipeline used to carry each user's observed topics
+as nested Python lists — one list of per-epoch tuples per (user, caller)
+— built by running the full object-graph Topics machinery user by user.
+At population scale (the million-user suite ROADMAP targets) the
+per-object churn and the pickling of nested lists between processes
+dominate the wall-clock, exactly as per-visit ``VisitRecord`` trees once
+did for the crawl plane.
+
+:class:`TraceBuffers` is the population counterpart of
+``repro.crawler.columnar.VisitBuffers``: per-(user, epoch, caller) topic
+views stored as flat stdlib ``array`` columns with CSR offsets.
+
+* ``user_ids`` — one entry per user row, in append order;
+* ``topics``  — every observed topic id, flattened;
+* ``offsets`` — CSR offsets over ``topics``; cell ``i`` owns the
+  half-open slice ``offsets[i]:offsets[i + 1]``.
+
+Cells are addressed arithmetically: user rows are laid out caller-major
+then epoch-minor, so the cell of ``(user_row, caller_index,
+epoch_index)`` is ``(user_row * n_callers + caller_index) * n_epochs +
+epoch_index``.  Rows append in O(topics), shard buffers concatenate in
+O(rows) (:meth:`TraceBuffers.extend`), and the whole structure pickles
+as three flat arrays plus two small tuples — the population data
+plane's wire format between worker processes.
+
+:class:`TraceView` is the lazy per-user facade: a read-only
+``Sequence[tuple[int, ...]]`` over one (user, caller) stripe, satisfying
+the ``ProfileView`` protocol so every existing consumer
+(``repro.privacy.attack`` matchers, the linkage attack) works unchanged
+without materialising nested lists.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+
+class TraceBuffers:
+    """Columnar store of per-(user, epoch, caller) topic views."""
+
+    __slots__ = ("callers", "query_epochs", "user_ids", "topics", "offsets")
+
+    def __init__(
+        self, callers: Sequence[str], query_epochs: Sequence[int]
+    ) -> None:
+        if not callers:
+            raise ValueError("at least one caller required")
+        if not query_epochs:
+            raise ValueError("at least one query epoch required")
+        self.callers = tuple(callers)
+        self.query_epochs = tuple(query_epochs)
+        self.user_ids = array("q")
+        self.topics = array("q")
+        self.offsets = array("q", (0,))
+
+    def __len__(self) -> int:
+        """Number of user rows."""
+        return len(self.user_ids)
+
+    @property
+    def cells_per_user(self) -> int:
+        return len(self.callers) * len(self.query_epochs)
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+    # -- building --------------------------------------------------------------
+
+    def begin_user(self, user_id: int) -> None:
+        """Open a user row; exactly ``cells_per_user`` cells must follow."""
+        self.user_ids.append(user_id)
+
+    def append_cell(self, topic_ids: Iterable[int]) -> None:
+        """Append one (caller, epoch) cell's topic ids (the hot writer)."""
+        self.topics.extend(topic_ids)
+        self.offsets.append(len(self.topics))
+
+    def append_views(
+        self, user_id: int, views_by_caller: Sequence[Sequence[Iterable[int]]]
+    ) -> None:
+        """Append one user row from already-materialised per-caller views.
+
+        ``views_by_caller[c][e]`` holds the topic ids caller ``c``
+        collected at query epoch ``e`` — the record-oriented entry point
+        mirroring ``VisitBuffers.append_record``.
+        """
+        if len(views_by_caller) != len(self.callers):
+            raise ValueError(
+                f"expected views for {len(self.callers)} caller(s), "
+                f"got {len(views_by_caller)}"
+            )
+        self.begin_user(user_id)
+        for view in views_by_caller:
+            cells = 0
+            for epoch_topics in view:
+                self.append_cell(epoch_topics)
+                cells += 1
+            if cells != len(self.query_epochs):
+                raise ValueError(
+                    f"expected {len(self.query_epochs)} epoch cell(s) per "
+                    f"view, got {cells}"
+                )
+
+    def extend(self, other: "TraceBuffers") -> None:
+        """Concatenate ``other``'s user rows (the shard-merge primitive).
+
+        Whole columns splice in O(rows); the schemas (caller order and
+        query epochs) must match exactly, since cell addressing depends
+        on them.
+        """
+        if other.callers != self.callers:
+            raise ValueError(
+                f"caller mismatch: {other.callers!r} vs {self.callers!r}"
+            )
+        if other.query_epochs != self.query_epochs:
+            raise ValueError(
+                f"query-epoch mismatch: {other.query_epochs!r} vs "
+                f"{self.query_epochs!r}"
+            )
+        self.user_ids.extend(other.user_ids)
+        self.topics.extend(other.topics)
+        base = self.offsets[-1]
+        self.offsets.extend(base + offset for offset in other.offsets[1:])
+
+    # -- reading ---------------------------------------------------------------
+
+    def _cell_index(self, user_row: int, caller_index: int, epoch_index: int) -> int:
+        return (
+            user_row * len(self.callers) + caller_index
+        ) * len(self.query_epochs) + epoch_index
+
+    def cell(
+        self, user_row: int, caller_index: int, epoch_index: int
+    ) -> tuple[int, ...]:
+        """The sorted topic ids of one (user, caller, epoch) cell."""
+        index = self._cell_index(user_row, caller_index, epoch_index)
+        lo, hi = self.offsets[index], self.offsets[index + 1]
+        return tuple(self.topics[lo:hi])
+
+    def caller_index(self, caller: str) -> int:
+        try:
+            return self.callers.index(caller)
+        except ValueError:
+            raise KeyError(
+                f"unknown caller {caller!r}; buffers hold {self.callers!r}"
+            ) from None
+
+    def view(self, user_row: int, caller: str) -> "TraceView":
+        """Lazy ``ProfileView`` facade over one (user, caller) stripe."""
+        if not 0 <= user_row < len(self):
+            raise IndexError(f"user row {user_row} out of range 0..{len(self)}")
+        return TraceView(self, user_row, self.caller_index(caller))
+
+    def views_for(self, caller: str) -> list["TraceView"]:
+        """All users' views for ``caller``, in row order."""
+        caller_index = self.caller_index(caller)
+        return [
+            TraceView(self, user_row, caller_index)
+            for user_row in range(len(self))
+        ]
+
+    def materialise(self, user_row: int, caller: str) -> list[tuple[int, ...]]:
+        """The nested-list view the legacy per-user loop produced."""
+        return list(self.view(user_row, caller))
+
+    def check(self) -> None:
+        """Verify CSR integrity (cell count and offset monotonicity)."""
+        expected = len(self.user_ids) * self.cells_per_user + 1
+        if len(self.offsets) != expected:
+            raise ValueError(
+                f"offset column has {len(self.offsets)} entries, expected "
+                f"{expected} for {len(self.user_ids)} user row(s)"
+            )
+        if self.offsets and self.offsets[-1] != len(self.topics):
+            raise ValueError(
+                f"final offset {self.offsets[-1]} does not close the topic "
+                f"column (length {len(self.topics)})"
+            )
+        for previous, current in zip(self.offsets, self.offsets[1:]):
+            if current < previous:
+                raise ValueError("offsets must be non-decreasing")
+
+
+class TraceView(Sequence[tuple[int, ...]]):
+    """One (user, caller) stripe of a :class:`TraceBuffers`.
+
+    A read-only ``Sequence[tuple[int, ...]]`` — one sorted topic tuple
+    per query epoch — materialising each tuple on access, so matcher
+    code written against nested lists (the ``ProfileView`` protocol)
+    runs unmodified over columnar storage.
+    """
+
+    __slots__ = ("_buffers", "_user_row", "_caller_index")
+
+    def __init__(
+        self, buffers: TraceBuffers, user_row: int, caller_index: int
+    ) -> None:
+        self._buffers = buffers
+        self._user_row = user_row
+        self._caller_index = caller_index
+
+    @property
+    def user_id(self) -> int:
+        return self._buffers.user_ids[self._user_row]
+
+    def __len__(self) -> int:
+        return len(self._buffers.query_epochs)
+
+    def __getitem__(self, index):  # int | slice
+        if isinstance(index, slice):
+            return [
+                self._buffers.cell(self._user_row, self._caller_index, i)
+                for i in range(*index.indices(len(self)))
+            ]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._buffers.cell(self._user_row, self._caller_index, index)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        buffers, row, caller = self._buffers, self._user_row, self._caller_index
+        for index in range(len(self)):
+            yield buffers.cell(row, caller, index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (TraceView, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceView(user={self.user_id}, "
+            f"caller={self._buffers.callers[self._caller_index]!r}, "
+            f"epochs={list(self)!r})"
+        )

@@ -1,0 +1,173 @@
+"""Shared execution backends: serial, thread, process.
+
+Originally private to the crawl plane (``repro.crawler.executor``), the
+backend strategies turned out to be workload-agnostic: they map a worker
+function over a sequence of picklable tasks and return the results in
+task order.  The population data plane (``repro.users.columnar`` trace
+generation, ``repro.privacy.attack`` ranking) shards its work over the
+same three strategies, so the strategy layer lives here and the crawl
+executor re-exports it unchanged:
+
+* ``serial``  — run tasks one after another in the calling thread (the
+  reference executor: zero scheduling noise, easiest to debug);
+* ``thread``  — one worker thread per task (cheap to start, shares
+  memory, GIL-bound);
+* ``process`` — worker **processes** via ``ProcessPoolExecutor`` on the
+  spawn context: true multi-core parallelism for CPU-bound loops.
+  Tasks and results must be picklable, and the worker function must be
+  importable (module-level) in a fresh interpreter.
+
+The backend is chosen per run: explicitly (``backend=`` / ``--backend``),
+or via the ``REPRO_CRAWL_BACKEND`` environment variable, defaulting to
+``thread``.  Every workload built on these strategies is required to be
+deterministic and order-independent per task, so all three backends
+produce byte-identical outputs — the tests pin this for crawls and for
+population traces alike.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV_VAR = "REPRO_CRAWL_BACKEND"
+
+#: Valid backend names, in documentation order.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: The default when neither the caller nor the environment chooses.
+DEFAULT_BACKEND = "thread"
+
+
+class ExecutionBackend:
+    """Strategy interface: run a function over task inputs, in order."""
+
+    name: str = "abstract"
+
+    def map(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> list[_R]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Run tasks one after another in the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """One worker thread per task (concurrency, not parallelism)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+
+#: Live process pools, keyed by worker count.  Reused across runs so
+#: worker-side caches (worlds, populations) survive between runs in one
+#: session.
+_PROCESS_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _process_pool(max_workers: int) -> ProcessPoolExecutor:
+    pool = _PROCESS_POOLS.get(max_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        _PROCESS_POOLS[max_workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_process_pools() -> None:
+    for pool in _PROCESS_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _PROCESS_POOLS.clear()
+
+
+class ProcessBackend(ExecutionBackend):
+    """One worker process per task: true multi-core parallelism.
+
+    Requires picklable tasks and a module-level worker function; worker
+    processes are spawned (not forked), so they import the package fresh
+    and share no state with the parent beyond what the task carries.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        if not items:
+            return []
+        pool = _process_pool(self.max_workers)
+        try:
+            return list(pool.map(fn, items))
+        except BrokenProcessPool:
+            # A worker died hard (OOM, signal); the pool is unusable.
+            # Evict it so the next run starts a healthy one.
+            _PROCESS_POOLS.pop(self.max_workers, None)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """The effective backend name: explicit > environment > default."""
+    resolved = name or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    resolved = resolved.strip().lower()
+    if resolved not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown crawl backend {resolved!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    return resolved
+
+
+def create_backend(
+    backend: "str | ExecutionBackend | None", max_workers: int
+) -> ExecutionBackend:
+    """Materialise a backend from a name, an instance, or the environment."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = resolve_backend_name(backend)
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(max_workers)
+    return ThreadBackend(max_workers)
+
+
+def is_picklable(value: object) -> bool:
+    """Whether ``value`` survives the process-pool boundary."""
+    try:
+        pickle.dumps(value)
+    except Exception:  # noqa: BLE001 — pickle raises a zoo of types
+        return False
+    return True

@@ -138,11 +138,74 @@ class TestGateCli:
 
 def test_seed_history_parses(gate):
     """The committed seed history must stay loadable by the portal."""
-    from repro.report.bench import load_history
+    from repro.report.bench import load_history, metric_of, rate_of
 
     seed = (
         Path(__file__).resolve().parent.parent / "benchmarks" / "history.jsonl"
     )
     records = load_history(seed)
     assert records
-    assert all("visits_per_second" in record for record in records)
+    assert all(rate_of(record) > 0 for record in records)
+    metrics = {metric_of(record) for record in records}
+    # Both planes' trajectories live in the committed history.
+    assert "visits_per_second" in metrics
+    assert "reid_users_per_second" in metrics
+
+
+class TestMultiMetricGate:
+    def test_gated_rates_reads_each_benchmark_metric(self, gate):
+        results = {
+            "benchmarks": [
+                {
+                    "name": "test_crawl_throughput",
+                    "extra_info": {"visits_per_second": 50_000.0},
+                },
+                {
+                    "name": "test_reid_throughput",
+                    "extra_info": {"reid_users_per_second": 1_500.0},
+                },
+                {"name": "test_ungated", "extra_info": {"whatever": 1.0}},
+            ]
+        }
+        assert gate.gated_rates(results) == {
+            "test_crawl_throughput": 50_000.0,
+            "test_reid_throughput": 1_500.0,
+        }
+
+    def test_history_records_name_their_metric(self, gate, tmp_path):
+        history = tmp_path / "history.jsonl"
+        gate.append_history(
+            history,
+            {"test_reid_throughput": 1_500.0, "test_crawl_throughput": 50_000.0},
+            {},
+        )
+        records = [json.loads(line) for line in history.read_text().splitlines()]
+        by_name = {record["benchmark"]: record for record in records}
+        crawl = by_name["test_crawl_throughput"]
+        reid = by_name["test_reid_throughput"]
+        assert crawl["metric"] == "visits_per_second"
+        assert crawl["visits_per_second"] == 50_000.0
+        assert reid["metric"] == "reid_users_per_second"
+        assert reid["reid_users_per_second"] == 1_500.0
+
+    def test_reid_regression_fails_the_gate(self, gate, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        results.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "name": "test_reid_throughput",
+                            "extra_info": {"reid_users_per_second": 100.0},
+                        }
+                    ]
+                }
+            )
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"test_reid_throughput": 1_400.0}))
+        code = gate.main(
+            [str(results), "--baseline", str(baseline), "--no-history"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out

@@ -113,3 +113,66 @@ class TestStudy:
             ReidentificationConfig(population_size=0)
         with pytest.raises(ValueError):
             ReidentificationConfig(observation_epochs=0)
+
+    def test_config_rejects_negative_burn_in(self):
+        with pytest.raises(ValueError, match="burn_in_epochs"):
+            ReidentificationConfig(burn_in_epochs=-1)
+        # zero burn-in is a valid study (query from the first epoch)
+        ReidentificationConfig(burn_in_epochs=0)
+
+    def test_config_rejects_non_positive_visits(self):
+        with pytest.raises(ValueError, match="visits_per_epoch"):
+            ReidentificationConfig(visits_per_epoch=0)
+        with pytest.raises(ValueError, match="visits_per_epoch"):
+            ReidentificationConfig(visits_per_epoch=-3)
+
+    def test_config_rejects_out_of_range_noise(self):
+        with pytest.raises(ValueError, match="noise_probability"):
+            ReidentificationConfig(noise_probability=-0.01)
+        with pytest.raises(ValueError, match="noise_probability"):
+            ReidentificationConfig(noise_probability=1.01)
+        # the endpoints are valid (no noise / always noise)
+        ReidentificationConfig(noise_probability=0.0)
+        ReidentificationConfig(noise_probability=1.0)
+
+    def test_sweep_defaults_are_immutable(self):
+        import inspect
+
+        for func, parameter in (
+            (sweep_epochs, "epoch_counts"),
+            (sweep_noise, "noise_levels"),
+        ):
+            default = inspect.signature(func).parameters[parameter].default
+            assert isinstance(default, tuple), f"{parameter} default must be a tuple"
+
+    def test_backend_does_not_change_the_study(self, result):
+        threaded = run_reidentification(
+            ReidentificationConfig(population_size=40, observation_epochs=4),
+            backend="thread",
+            max_workers=3,
+        )
+        assert threaded.linkage.true_match_ranks == result.linkage.true_match_ranks
+
+    def test_study_matches_legacy_per_user_pipeline(self, result):
+        """The columnar + sparse study reproduces the original loop."""
+        from repro.privacy.attack import link_profiles as _link
+        from repro.users.browsing import TraceGenerator
+        from repro.users.population import Population
+
+        config = ReidentificationConfig(population_size=40, observation_epochs=4)
+        population = Population.generate(config.population_size, seed=config.seed)
+        generator = TraceGenerator(
+            population,
+            callers=[config.caller_a, config.caller_b],
+            visits_per_epoch=config.visits_per_epoch,
+            noise_probability=config.noise_probability,
+        )
+        total = config.burn_in_epochs + config.observation_epochs
+        query = list(range(config.burn_in_epochs, total))
+        views_a, views_b = [], []
+        for user_id in range(len(population)):
+            session = generator.run(user_id, total)
+            views_a.append(generator.observed_topics(session, config.caller_a, query))
+            views_b.append(generator.observed_topics(session, config.caller_b, query))
+        legacy = _link(views_a, views_b, SequenceMatcher(), strategy="dense")
+        assert result.linkage.true_match_ranks == legacy.true_match_ranks
