@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint validate report bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar bench-reid sweep-smoke ci study experiments examples clean
+.PHONY: install test lint validate report bench bench-small bench-smoke bench-obs bench-spans bench-parallel bench-columnar bench-reid bench-service sweep-smoke serve-smoke ci study experiments examples clean
 
 install:
 	$(PY) setup.py develop
@@ -61,9 +61,19 @@ bench-reid:
 		--benchmark-only \
 		--benchmark-json=bench-reid.json
 
+# The crawl service's acceptance pair: streamed submit-to-done
+# throughput vs the batch plane, plus submit-to-first-event latency,
+# recording service_visits_per_second into the JSON artifact.
+bench-service:
+	REPRO_BENCH_SITES=6000 $(PY) -m pytest \
+		benchmarks/bench_service.py \
+		--benchmark-only \
+		--benchmark-json=bench-service.json
+
 # The reduced-scale benchmark job CI runs on every push: the bench run
-# records visits/sec and reid users/sec into the JSON artifact, and the
-# regression gate fails on a >30% drop versus the committed baseline.
+# records visits/sec, reid users/sec, and service visits/sec into the
+# JSON artifact, and the regression gate fails on a >30% drop versus
+# the committed baseline.
 bench-smoke:
 	REPRO_BENCH_SITES=2000 REPRO_BENCH_REID_USERS=500 \
 	REPRO_BENCH_REID_SCALES=150,300 $(PY) -m pytest \
@@ -72,6 +82,7 @@ bench-smoke:
 		benchmarks/bench_checkpoint.py \
 		benchmarks/bench_reidentification.py::test_reid_throughput \
 		benchmarks/bench_reidentification.py::test_reid_scaling \
+		benchmarks/bench_service.py \
 		--benchmark-only \
 		--benchmark-json=bench-smoke.json
 	$(PY) scripts/check_bench_regression.py bench-smoke.json
@@ -88,6 +99,33 @@ sweep-smoke:
 	PYTHONPATH=src $(PY) -m repro sweep ci_smoke \
 		--out sweep-smoke-serial --backend serial
 	diff -r sweep-smoke-process sweep-smoke-serial
+
+# Crawl service smoke: boot `repro serve`, submit a campaign over the
+# Unix socket and stream it to completion, run the same spec through
+# batch `repro crawl`, and require the two archives to be
+# byte-identical (the same run CI's service job performs).
+serve-smoke:
+	rm -rf serve-smoke-data serve-smoke-batch
+	set -e; \
+	PYTHONPATH=src $(PY) -m repro serve --data-dir serve-smoke-data \
+		--backend serial & \
+	SERVE_PID=$$!; \
+	trap 'kill $$SERVE_PID 2>/dev/null || true' EXIT; \
+	for _ in $$(seq 1 100); do \
+		[ -S serve-smoke-data/service.sock ] && break; sleep 0.2; \
+	done; \
+	[ -S serve-smoke-data/service.sock ]; \
+	PYTHONPATH=src $(PY) -m repro submit --data-dir serve-smoke-data \
+		--sites 1000 --seed 1 --shards 4 --backend serial \
+		--checkpoint-every 100 --watch; \
+	PYTHONPATH=src $(PY) -m repro crawl --sites 1000 --seed 1 \
+		--shards 4 --backend serial --out serve-smoke-batch/archive \
+		--checkpoint-dir serve-smoke-batch/checkpoints \
+		--checkpoint-every 100; \
+	diff -r serve-smoke-data/jobs/job-000001/archive \
+		serve-smoke-batch/archive; \
+	PYTHONPATH=src $(PY) -m repro shutdown --data-dir serve-smoke-data; \
+	wait $$SERVE_PID
 
 # Cross-artifact validation: the metamorphic relation suite at reduced
 # scale (the same run CI's validate job performs).
@@ -109,11 +147,12 @@ report:
 	$(PY) scripts/check_report_links.py report-archive/report
 
 # Mirror of .github/workflows/ci.yml: lint, tier-1 suite, bench smoke,
-# scenario sweep gate, metamorphic validation.
+# scenario sweep gate, crawl service smoke, metamorphic validation.
 ci: lint
 	PYTHONPATH=src $(PY) -m pytest -x -q
 	PYTHONPATH=src $(MAKE) bench-smoke
 	$(MAKE) sweep-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) validate
 
 study:
@@ -138,3 +177,4 @@ clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
 	rm -rf sweep-smoke-process sweep-smoke-serial
+	rm -rf serve-smoke-data serve-smoke-batch

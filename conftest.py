@@ -1,0 +1,81 @@
+"""Root pytest conftest: per-test timeout watchdog, with or without plugins.
+
+The repo sets ``timeout = 300`` in ``pyproject.toml`` so a hung test —
+an asyncio service test deadlocking on a queue, a socket read that never
+returns — can never stall a CI run.  That ini key belongs to the
+``pytest-timeout`` plugin; CI installs it.  Environments without the
+plugin (the key would otherwise be an unknown-ini warning and a silent
+no-op) get a minimal fallback here: a ``SIGALRM`` alarm around each test
+call, main-thread only, POSIX only.  The fallback intentionally
+implements just what this repo needs — a whole-test deadline raising a
+clear failure — not the plugin's full surface.
+
+This must be the *root* conftest: ``pytest_addoption`` (which registers
+the ini key) only runs from initial conftests, and ``tests/conftest.py``
+is not loaded for ``pytest benchmarks/...`` invocations.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+
+if not _HAVE_PLUGIN:
+
+    def pytest_addoption(parser: pytest.Parser) -> None:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (pytest-timeout fallback)",
+            default="0",
+        )
+
+    def pytest_configure(config: pytest.Config) -> None:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): override the per-test timeout "
+            "(pytest-timeout fallback)",
+        )
+
+    def _timeout_for(item: pytest.Item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item: pytest.Item):
+        seconds = _timeout_for(item)
+        use_alarm = (
+            seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not use_alarm:
+            return (yield)
+
+        def on_alarm(signum, frame):  # noqa: ARG001 — signal handler shape
+            raise TimeoutError(
+                f"test exceeded the {seconds:.0f}s timeout "
+                "(pytest-timeout fallback watchdog)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(int(seconds))
+        try:
+            return (yield)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)

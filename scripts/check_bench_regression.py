@@ -3,7 +3,8 @@
 
 Reads a ``pytest-benchmark --benchmark-json`` results file, pulls each
 gated benchmark's throughput figure (``visits_per_second`` for the crawl
-plane, ``reid_users_per_second`` for the population data plane) from its
+plane, ``reid_users_per_second`` for the population data plane,
+``service_visits_per_second`` for the streamed crawl service) from its
 ``extra_info``, and compares it against the committed baseline
 (``benchmarks/baseline_visits_per_second.json``).  A benchmark that
 drops more than the allowed fraction below its baseline fails the run;
@@ -46,6 +47,7 @@ HISTORY_PATH = _REPO_ROOT / "benchmarks" / "history.jsonl"
 GATED_BENCHMARKS = {
     "test_crawl_throughput": "visits_per_second",
     "test_reid_throughput": "reid_users_per_second",
+    "test_service_throughput": "service_visits_per_second",
 }
 
 #: Exit code for "inputs unusable" (missing/unparseable JSON), distinct

@@ -15,7 +15,11 @@ Commands mirror the measurement workflow:
   audit a sweep directory (``--sweep``), or (``--metamorphic``) re-run
   a small campaign under perturbations;
 * ``report``  — render a self-contained static HTML report portal from
-  an archived campaign and its optional observability artefacts.
+  an archived campaign and its optional observability artefacts;
+* ``serve`` / ``submit`` / ``watch`` / ``jobs`` / ``cancel`` /
+  ``shutdown`` — the long-lived crawl service: campaigns become
+  submitted jobs with streamed progress, cancellation and
+  resume-on-restart (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -508,6 +512,169 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0 if probe.attested else 1
 
 
+# -- crawl service ------------------------------------------------------------
+
+
+def _service_socket(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    if args.socket:
+        return args.socket
+    return str(Path(args.data_dir) / "service.sock")
+
+
+def _render_event(event: dict) -> str:
+    kind = event["kind"]
+    payload = event.get("payload", {})
+    if kind == "job-submitted":
+        spec = payload.get("spec", {})
+        return (
+            f"[{event['seq']:>4}] submitted: {spec.get('sites')} sites, "
+            f"seed {spec.get('seed')}, {spec.get('shards')} shard(s)"
+        )
+    if kind == "job-started":
+        resumed = payload.get("resumed", 0)
+        suffix = f" (resume #{resumed})" if resumed else ""
+        return f"[{event['seq']:>4}] started{suffix}"
+    if kind == "shard-progress":
+        return (
+            f"[{event['seq']:>4}] shard {payload.get('shard')}: "
+            f"{payload.get('completed')} targets done "
+            f"({payload.get('visits')} visits)"
+        )
+    if kind == "shard-result":
+        return (
+            f"[{event['seq']:>4}] shard {payload.get('shard')} complete: "
+            f"{payload.get('ok')}/{payload.get('domains')} ok, "
+            f"{payload.get('accepted')} accepted, "
+            f"{len(payload.get('d_ba', ()))} rows streamed"
+        )
+    if kind == "job-done":
+        summary = payload.get("summary", {})
+        return (
+            f"[{event['seq']:>4}] done: {summary.get('ok')}/"
+            f"{summary.get('targets')} sites, archive at "
+            f"{payload.get('archive_dir')}"
+        )
+    if kind == "job-failed":
+        return f"[{event['seq']:>4}] FAILED: {payload.get('error')}"
+    if kind == "job-cancelled":
+        return f"[{event['seq']:>4}] cancelled"
+    return f"[{event['seq']:>4}] {kind}: {payload}"
+
+
+def _stream_watch(client, job_id: str, *, since: int, policy: str) -> int:
+    terminal_kind = None
+    for item in client.watch(job_id, since=since, policy=policy):
+        if "dropped" in item:
+            print(f"  ... {item['dropped']} event(s) dropped (slow consumer)")
+            continue
+        event = item.get("event")
+        if event is None:
+            continue
+        print(_render_event(event))
+        if event["kind"] in ("job-done", "job-failed", "job-cancelled"):
+            terminal_kind = event["kind"]
+    return 0 if terminal_kind == "job-done" else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import CrawlService, ServiceServer
+
+    async def serve() -> None:
+        service = CrawlService(
+            args.data_dir,
+            max_jobs=args.max_jobs,
+            backend=args.backend,
+            max_workers=args.max_workers,
+        )
+        revived = await service.start()
+        if revived:
+            print(f"requeued {len(revived)} interrupted job(s): "
+                  + ", ".join(revived))
+        server = ServiceServer(service, _service_socket(args))
+        await server.start()
+        print(f"crawl service listening on {server.socket_path}")
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; running jobs stay resumable in "
+              f"{args.data_dir}/jobs/")
+        return 130
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    spec = {
+        "sites": args.sites,
+        "seed": args.seed,
+        "vantage": args.vantage,
+        "shards": args.shards,
+        "backend": args.backend,
+        "max_workers": args.max_workers,
+        "corrupt_allowlist": not args.healthy_allowlist,
+        "limit": args.limit,
+        "checkpoint_every": args.checkpoint_every,
+        "max_shard_retries": args.max_shard_retries,
+    }
+    client = ServiceClient(_service_socket(args))
+    job_id = client.submit(spec)
+    print(f"submitted {job_id}")
+    if args.watch:
+        return _stream_watch(client, job_id, since=0, policy=args.policy)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_socket(args))
+    return _stream_watch(
+        client, args.job_id, since=args.since, policy=args.policy
+    )
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    jobs = ServiceClient(_service_socket(args)).list_jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        spec = job.get("spec", {})
+        line = (
+            f"{job['job_id']}  {job['state']:<9}  "
+            f"{spec.get('sites')} sites / {spec.get('shards')} shard(s)"
+        )
+        if job.get("error"):
+            line += f"  error: {job['error']}"
+        print(line)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    job = ServiceClient(_service_socket(args)).cancel(args.job_id)
+    print(f"{job['job_id']}: {job['state']}")
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    ServiceClient(_service_socket(args)).shutdown()
+    print("service shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -845,6 +1012,129 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: a temporary directory)",
     )
     validate.set_defaults(func=_cmd_validate)
+
+    def add_service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--data-dir",
+            default="service-data",
+            help="service state directory (job table, checkpoints, archives)",
+        )
+        p.add_argument(
+            "--socket",
+            default=None,
+            help="Unix socket path (default: <data-dir>/service.sock)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived crawl service (submit jobs with "
+        "`repro submit`, stream them with `repro watch`)",
+    )
+    add_service_args(serve)
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=2,
+        help="campaigns allowed to run concurrently (default: 2)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="default shard execution backend for jobs that do not pick "
+        f"their own; also settable via {BACKEND_ENV_VAR}",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="default worker threads/processes per job",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running crawl service"
+    )
+    add_service_args(submit)
+    add_world_args(submit, 10_000)
+    submit.add_argument("--shards", type=int, default=4)
+    submit.add_argument("--limit", type=int, default=None)
+    submit.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="shard execution backend for this job",
+    )
+    submit.add_argument("--max-workers", type=int, default=None)
+    submit.add_argument(
+        "--healthy-allowlist",
+        action="store_true",
+        help="keep the enrolment allow-list intact (anomalous calls blocked)",
+    )
+    submit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=200,
+        help="checkpoint each shard every N visits (default: 200)",
+    )
+    submit.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=3,
+        help="restarts granted to each shard before the job fails",
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream the job's events until it finishes",
+    )
+    submit.add_argument(
+        "--policy",
+        choices=("block", "drop"),
+        default="block",
+        help="backpressure policy for --watch (default: block)",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    watch = sub.add_parser(
+        "watch", help="stream a submitted job's events until it finishes"
+    )
+    add_service_args(watch)
+    watch.add_argument("job_id")
+    watch.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        help="replay from this sequence number (0 = full history)",
+    )
+    watch.add_argument(
+        "--policy",
+        choices=("block", "drop"),
+        default="block",
+        help="backpressure policy: block the service on this consumer, "
+        "or drop events with a surfaced count (default: block)",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    jobs = sub.add_parser("jobs", help="list the service's jobs")
+    add_service_args(jobs)
+    jobs.set_defaults(func=_cmd_jobs)
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a job (running shards stop at the next poll; "
+        "checkpoints stay durable)",
+    )
+    add_service_args(cancel)
+    cancel.add_argument("job_id")
+    cancel.set_defaults(func=_cmd_cancel)
+
+    shutdown = sub.add_parser(
+        "shutdown",
+        help="stop a running crawl service (its jobs resume on next serve)",
+    )
+    add_service_args(shutdown)
+    shutdown.set_defaults(func=_cmd_shutdown)
 
     return parser
 

@@ -42,6 +42,7 @@ resumed-after-crash process runs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -716,5 +717,85 @@ class _CrashAt:
     def __call__(self, position: int, domain: str) -> None:
         if position == self.position:
             raise RuntimeError(f"injected crash at visit {position}")
+
+
+# -- cooperative cancellation (service seam) ------------------------------------
+
+
+class JobCancelled(BaseException):
+    """A campaign was cancelled from outside while shards were running.
+
+    Deliberately a :class:`BaseException`: the resumable shard loop
+    retries any ``Exception`` from its last checkpoint, but a cancelled
+    shard must **stop**, not restart — cancellation flies past the retry
+    machinery the way ``KeyboardInterrupt`` would.  Instances pickle, so
+    a process-backend worker can raise one across the pool boundary.
+    """
+
+
+@dataclass(frozen=True)
+class CancelFlag:
+    """A picklable fault injector: stop every shard once a flag file exists.
+
+    The service cancels a running job by *touching a file*; shard
+    workers — in any thread or process — poll for it between visits
+    (every ``check_every`` positions, so the hot loop pays one ``stat``
+    per batch, not per visit) and raise :class:`JobCancelled`.  The
+    periodic checkpoints already written stay durable and the manifest
+    stays consistent, so a cancelled campaign can later be resumed or
+    inspected like a crashed one.
+    """
+
+    path: str
+    check_every: int = 8
+
+    def __call__(self, shard: int, attempt: int):  # noqa: ARG002 — injector shape
+        return _CancelCheck(self.path, max(self.check_every, 1))
+
+
+@dataclass(frozen=True)
+class _CancelCheck:
+    path: str
+    check_every: int
+
+    def __call__(self, position: int, domain: str) -> None:
+        if position % self.check_every == 0 or position == 1:
+            if os.path.exists(self.path):
+                raise JobCancelled(
+                    f"cancelled before visit {position} of {domain}"
+                )
+
+
+@dataclass(frozen=True)
+class CompositeInjector:
+    """Combine fault injectors; each shard attempt runs every armed hook.
+
+    Stays picklable as long as its members are — the service composes a
+    :class:`CancelFlag` with an optional :class:`CrashSchedule` and the
+    result still crosses the process-pool boundary.
+    """
+
+    injectors: tuple[object, ...]
+
+    def __call__(self, shard: int, attempt: int):
+        hooks = tuple(
+            hook
+            for injector in self.injectors
+            if (hook := injector(shard, attempt)) is not None  # type: ignore[operator]
+        )
+        if not hooks:
+            return None
+        if len(hooks) == 1:
+            return hooks[0]
+        return _CompositeHook(hooks)
+
+
+@dataclass(frozen=True)
+class _CompositeHook:
+    hooks: tuple[object, ...]
+
+    def __call__(self, position: int, domain: str) -> None:
+        for hook in self.hooks:
+            hook(position, domain)  # type: ignore[operator]
 
 

@@ -57,6 +57,7 @@ from repro.crawler.executor import (
     ShardFailedError as ShardFailedError,  # noqa: PLC0414 — re-export
     ShardOutcome,
     ShardPlan,
+    ShardResult,
     ShardRetryRecord as ShardRetryRecord,  # noqa: PLC0414 — re-export
     ShardTask,
     WorldSpec,
@@ -65,6 +66,7 @@ from repro.crawler.executor import (
     is_picklable,
     outcome_from_result,
     plan_shards,
+    result_from_outcome,
     run_shard_task,
 )
 from repro.crawler.parallel import ShardedCrawl, effective_shard_count
@@ -90,6 +92,11 @@ FaultHook = Callable[[int, str], None]
 
 #: Test seam: (shard_index, attempt) -> per-visit fault hook (or None).
 FaultInjector = Callable[[int, int], "FaultHook | None"]
+
+#: Streaming hook: called with (plan, picklable shard result) as each
+#: shard completes — in completion order, before the merge runs.  The
+#: crawl service hangs incremental result events off this seam.
+ShardListener = Callable[[ShardPlan, ShardResult], None]
 
 #: Backwards-compatible alias — the class lived in ``parallel`` before
 #: the execution-backend split.
@@ -142,6 +149,7 @@ class ResumableCrawl:
         metrics: MetricsRegistry = NULL_METRICS,
         spans: SpanRecorder = NULL_RECORDER,
         fault_injector: FaultInjector | None = None,
+        shard_listener: ShardListener | None = None,
     ) -> None:
         self._world = world
         self._store = CheckpointStore(checkpoint_dir)
@@ -158,6 +166,7 @@ class ResumableCrawl:
         self._metrics = metrics
         self._spans = spans
         self._fault_injector = fault_injector
+        self._shard_listener = shard_listener
         # The merge stays ShardedCrawl's: one implementation, zero drift.
         self._merger = ShardedCrawl(
             world,
@@ -242,8 +251,16 @@ class ResumableCrawl:
     def _execute(
         self, backend: ExecutionBackend, plans: list[ShardPlan]
     ) -> list[_ShardRun]:
+        # Shards stream back in completion order — each one is handed to
+        # the shard listener the moment it finishes — then the merge
+        # consumes them in plan order, so the output stays byte-identical
+        # however the scheduler interleaved the work.
         if backend.name != "process":
-            return backend.map(self._run_shard, plans)
+            runs: list[_ShardRun | None] = [None] * len(plans)
+            for index, run in backend.stream(self._run_shard, plans):
+                runs[index] = run
+                self._notify_shard(plans[index], run)
+            return [run for run in runs if run is not None]
         spec = WorldSpec.of(self._world)
         tasks = [
             ShardTask(
@@ -262,33 +279,45 @@ class ResumableCrawl:
             )
             for plan in plans
         ]
-        results = backend.map(run_shard_task, tasks)
         listener = self._spans.listener if self._spans.enabled else None
-        runs: list[_ShardRun] = []
-        for plan, result in zip(plans, results):
+        runs = [None] * len(plans)
+        for index, result in backend.stream(run_shard_task, tasks):
+            plan = plans[index]
             if result.report is None:
-                runs.append(
-                    _ShardRun(
-                        plan=plan,
-                        outcome=None,
-                        retries=list(result.retries),
-                        resumed_from=result.resumed_from,
-                        failure=result.failure,
-                        # The worker's store wrote the checkpoints; the
-                        # parent's store reads the same directory.
-                        failure_checkpoint=self._store.latest(plan.shard_index),
-                    )
-                )
-                continue
-            runs.append(
-                _ShardRun(
+                runs[index] = _ShardRun(
                     plan=plan,
-                    outcome=outcome_from_result(result, span_listener=listener),
+                    outcome=None,
                     retries=list(result.retries),
                     resumed_from=result.resumed_from,
+                    failure=result.failure,
+                    # The worker's store wrote the checkpoints; the
+                    # parent's store reads the same directory.
+                    failure_checkpoint=self._store.latest(plan.shard_index),
                 )
+                continue
+            runs[index] = _ShardRun(
+                plan=plan,
+                outcome=outcome_from_result(result, span_listener=listener),
+                retries=list(result.retries),
+                resumed_from=result.resumed_from,
             )
-        return runs
+            if self._shard_listener is not None:
+                self._shard_listener(plan, result)
+        return [run for run in runs if run is not None]
+
+    def _notify_shard(self, plan: ShardPlan, run: _ShardRun) -> None:
+        """Stream one in-memory shard completion to the listener."""
+        if self._shard_listener is None or run.outcome is None:
+            return
+        self._shard_listener(
+            plan,
+            result_from_outcome(
+                plan.shard_index,
+                run.outcome,
+                retries=run.retries,
+                resumed_from=run.resumed_from,
+            ),
+        )
 
     def _run_shard(self, plan: ShardPlan) -> _ShardRun:
         """Run one shard in-process (serial/thread backends)."""

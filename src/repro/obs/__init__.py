@@ -24,6 +24,12 @@ Everything defaults to the no-op implementations (:data:`NULL_TRACER`,
 adds nothing to the hot path beyond one attribute check.
 """
 
+from repro.obs.bridge import (
+    BlockingLoopBridge,
+    LoopBridge,
+    VisitProgressListener,
+    fanout,
+)
 from repro.obs.metrics import (
     HistogramData,
     MetricsRegistry,
@@ -60,9 +66,11 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BlockingLoopBridge",
     "CampaignProfile",
     "EventKind",
     "HistogramData",
+    "LoopBridge",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_METRICS",
@@ -81,8 +89,10 @@ __all__ = [
     "TraceEvent",
     "TraceMeta",
     "Tracer",
+    "VisitProgressListener",
     "build_profile",
     "critical_path",
+    "fanout",
     "render_exposition",
     "stage_breakdown",
     "straggler_report",

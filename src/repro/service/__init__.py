@@ -1,0 +1,91 @@
+"""The crawl service: campaigns as submitted jobs instead of CLI runs.
+
+A long-lived asyncio front-end over the synchronous crawl stack:
+
+* :mod:`repro.service.jobs` — job specs, the queued → running →
+  done/failed/cancelled state machine, and the durable job table;
+* :mod:`repro.service.events` — the typed event protocol and the
+  bounded broker with block/drop backpressure per subscription;
+* :mod:`repro.service.runner` — blocking per-job execution (streaming,
+  cancellation, fault drills) run on worker threads;
+* :mod:`repro.service.service` — :class:`CrawlService`: the bounded job
+  pool, shared world cache, and resume-on-restart;
+* :mod:`repro.service.protocol` — the NDJSON Unix-socket server and the
+  synchronous client behind ``repro serve`` / ``submit`` / ``watch``.
+"""
+
+from repro.service.events import (
+    EVENT_JOB_CANCELLED,
+    EVENT_JOB_DONE,
+    EVENT_JOB_FAILED,
+    EVENT_JOB_STARTED,
+    EVENT_JOB_SUBMITTED,
+    EVENT_SHARD_PROGRESS,
+    EVENT_SHARD_RESULT,
+    EventBroker,
+    POLICIES,
+    POLICY_BLOCK,
+    POLICY_DROP,
+    ServiceEvent,
+    Subscription,
+    TERMINAL_KINDS,
+)
+from repro.service.jobs import (
+    FaultSpec,
+    JobRecord,
+    JobSpec,
+    JobSpecError,
+    JobState,
+    JobStateError,
+    JobTable,
+    TERMINAL_STATES,
+    interrupted_jobs,
+)
+from repro.service.protocol import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceServer,
+)
+from repro.service.runner import (
+    JobPaths,
+    JobRunResult,
+    ServiceKilled,
+    run_job,
+    shard_result_payload,
+)
+from repro.service.service import CrawlService
+
+__all__ = [
+    "CrawlService",
+    "EVENT_JOB_CANCELLED",
+    "EVENT_JOB_DONE",
+    "EVENT_JOB_FAILED",
+    "EVENT_JOB_STARTED",
+    "EVENT_JOB_SUBMITTED",
+    "EVENT_SHARD_PROGRESS",
+    "EVENT_SHARD_RESULT",
+    "EventBroker",
+    "FaultSpec",
+    "JobPaths",
+    "JobRecord",
+    "JobRunResult",
+    "JobSpec",
+    "JobSpecError",
+    "JobState",
+    "JobStateError",
+    "JobTable",
+    "POLICIES",
+    "POLICY_BLOCK",
+    "POLICY_DROP",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceEvent",
+    "ServiceKilled",
+    "ServiceServer",
+    "Subscription",
+    "TERMINAL_KINDS",
+    "TERMINAL_STATES",
+    "interrupted_jobs",
+    "run_job",
+    "shard_result_payload",
+]

@@ -31,9 +31,14 @@ import atexit
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -58,6 +63,47 @@ class ExecutionBackend:
     ) -> list[_R]:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def stream(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[tuple[int, _R]]:
+        """Yield ``(index, result)`` pairs as tasks complete.
+
+        Same contract as :meth:`map` — every item runs exactly once and
+        every result is yielded exactly once — but delivery order is
+        completion order, so a consumer can act on each finished task
+        (stream it, persist it) while slower siblings are still running.
+        The first task exception propagates to the consumer after the
+        in-flight siblings have been allowed to finish (they hold
+        resources — checkpoints, world caches — that must settle).
+        Callers needing positional results collect into ``[None] * n``.
+        """
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+def _stream_pool(pool, fn, items) -> Iterator[tuple[int, _R]]:
+    """Shared completion-order streaming over a concurrent.futures pool.
+
+    On a task failure the remaining futures are drained (awaited, their
+    own errors discarded) before the first failure is re-raised, so the
+    pool is quiescent by the time the caller sees the exception.
+    """
+    futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+    pending = set(futures)
+    failure: BaseException | None = None
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in sorted(done, key=futures.__getitem__):
+            try:
+                result = future.result()
+            except BaseException as exc:  # noqa: BLE001 — drained, then re-raised
+                if failure is None:
+                    failure = exc
+                continue
+            if failure is None:
+                yield futures[future], result
+    if failure is not None:
+        raise failure
+
 
 class SerialBackend(ExecutionBackend):
     """Run tasks one after another in the calling thread."""
@@ -66,6 +112,12 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
         return [fn(item) for item in items]
+
+    def stream(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[tuple[int, _R]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -83,6 +135,14 @@ class ThreadBackend(ExecutionBackend):
             return []
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, items))
+
+    def stream(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[tuple[int, _R]]:
+        if not items:
+            return
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            yield from _stream_pool(pool, fn, items)
 
 
 #: Live process pools, keyed by worker count.  Reused across runs so
@@ -133,6 +193,19 @@ class ProcessBackend(ExecutionBackend):
         except BrokenProcessPool:
             # A worker died hard (OOM, signal); the pool is unusable.
             # Evict it so the next run starts a healthy one.
+            _PROCESS_POOLS.pop(self.max_workers, None)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+    def stream(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[tuple[int, _R]]:
+        if not items:
+            return
+        pool = _process_pool(self.max_workers)
+        try:
+            yield from _stream_pool(pool, fn, items)
+        except BrokenProcessPool:
             _PROCESS_POOLS.pop(self.max_workers, None)
             pool.shutdown(wait=False, cancel_futures=True)
             raise
